@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates the Section IV-C age-counter sizing study: sweep
+ * the (unoptimized) age-counter width from 2 to 8 bits, plus the
+ * optimized 2-bit/8-miss configuration, and report overall
+ * speedup over LRU. The paper chose 5 bits for the unoptimized
+ * design and 2 bits (counting groups of 8 set misses) after
+ * optimization.
+ */
+
+#include "bench/common.hh"
+#include "util/format.hh"
+
+using namespace rlr;
+
+int
+main(int argc, char **argv)
+{
+    auto parser = bench::makeParser(
+        "Ablation: RLR age-counter width sweep");
+    if (!parser.parse(argc, argv))
+        return 0;
+    auto opt = bench::makeOptions(parser);
+
+    auto workloads = opt.workloads;
+    if (workloads.empty())
+        workloads = bench::trainingNames();
+
+    std::vector<std::string> policies;
+    std::vector<std::string> labels;
+    for (unsigned bits = 2; bits <= 8; ++bits) {
+        policies.push_back(util::format(
+            "RLR:opt=0,age={},tick=1,hit=2,rdmul=2", bits));
+        labels.push_back(
+            util::format("unopt, {}-bit age", bits));
+    }
+    policies.push_back("RLR");
+    labels.push_back("optimized (2-bit age, 8-miss tick)");
+
+    std::vector<std::string> all = {"LRU"};
+    all.insert(all.end(), policies.begin(), policies.end());
+    const auto cells =
+        sim::sweep(workloads, all, opt.params, opt.threads);
+
+    util::Table table({"Configuration", "Bits/line",
+                       "Speedup over LRU (%)"});
+    for (size_t p = 0; p < policies.size(); ++p) {
+        std::vector<double> ratios;
+        for (const auto &w : workloads) {
+            const auto &base = sim::findCell(cells, w, "LRU");
+            const auto &cell =
+                sim::findCell(cells, w, policies[p]);
+            ratios.push_back(stats::speedup(
+                cell.result.ipc(), base.result.ipc()));
+        }
+        const unsigned bits_per_line =
+            p < 7 ? static_cast<unsigned>(p + 2) + 2 + 1 : 4;
+        table.addRow(
+            {labels[p], std::to_string(bits_per_line),
+             util::Table::fmt(
+                 100.0 * (stats::geomean(ratios) - 1.0), 2)});
+    }
+
+    std::puts("=== Ablation: age-counter width (training "
+              "benchmarks) ===");
+    bench::emit(opt, table);
+    std::puts("\nPaper: 5 bits suffice to cover the average "
+              "preuse distance; the optimized 2-bit/8-miss "
+              "design preserves most of the gain at 4 bits/line.");
+    return 0;
+}

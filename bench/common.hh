@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Shared command-line plumbing for the experiment harnesses. Every
+ * bench binary accepts the same scaling knobs so the default
+ * `for b in build/bench/*; do $b; done` pass completes quickly,
+ * while --paper-scale approaches the paper's instruction counts.
+ */
+
+#ifndef RLR_BENCH_COMMON_HH
+#define RLR_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "stats/stats.hh"
+#include "trace/workloads.hh"
+#include "util/args.hh"
+#include "util/rng.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+#include "util/table.hh"
+
+namespace rlr::bench
+{
+
+/** Parsed common options. */
+struct BenchOptions
+{
+    sim::SimParams params;
+    std::vector<std::string> workloads;
+    std::vector<std::string> policies;
+    size_t threads = 8;
+    bool csv = false;
+    uint64_t seed = 42;
+
+    /** RL-specific scaling. */
+    uint64_t rl_instructions = 300'000;
+    unsigned rl_epochs = 1;
+};
+
+/**
+ * Build the shared parser.
+ * @param description program banner
+ * @param default_warmup / default_sim default instruction counts
+ */
+inline util::ArgParser
+makeParser(const std::string &description)
+{
+    util::ArgParser parser(description);
+    parser.addOption("warmup", "300000",
+                     "Warmup instructions per core");
+    parser.addOption("instructions", "1200000",
+                     "Measured instructions per core");
+    parser.addOption("workloads", "",
+                     "Comma-separated workload names (default: "
+                     "experiment-specific)");
+    parser.addOption("policies", "",
+                     "Comma-separated policy names (default: "
+                     "experiment-specific)");
+    parser.addOption("threads", "8", "Worker threads for sweeps");
+    parser.addOption("seed", "42", "Master random seed");
+    parser.addOption("rl-instructions", "300000",
+                     "Instructions for RL trace capture");
+    parser.addOption("rl-epochs", "2", "RL training epochs");
+    parser.addFlag("csv", "Emit CSV instead of aligned tables");
+    parser.addFlag("paper-scale",
+                   "Use paper-scale run lengths (slow)");
+    return parser;
+}
+
+/** Extract BenchOptions after parser.parse() succeeded. */
+inline BenchOptions
+makeOptions(const util::ArgParser &parser)
+{
+    BenchOptions opt;
+    opt.params.warmup_instructions = parser.getUint("warmup");
+    opt.params.sim_instructions = parser.getUint("instructions");
+    opt.seed = parser.getUint("seed");
+    opt.params.seed = opt.seed;
+    opt.threads = parser.getUint("threads");
+    opt.csv = parser.getFlag("csv");
+    opt.workloads = parser.getList("workloads");
+    opt.policies = parser.getList("policies");
+    opt.rl_instructions = parser.getUint("rl-instructions");
+    opt.rl_epochs = static_cast<unsigned>(parser.getUint("rl-epochs"));
+    if (parser.getFlag("paper-scale")) {
+        opt.params.warmup_instructions = 200'000'000;
+        opt.params.sim_instructions = 1'000'000'000;
+        opt.rl_instructions = 100'000'000;
+        opt.rl_epochs = 4;
+    }
+    return opt;
+}
+
+/** Print a table in the selected format. */
+inline void
+emit(const BenchOptions &opt, const util::Table &table)
+{
+    std::fputs(
+        (opt.csv ? table.csv() : table.render()).c_str(), stdout);
+}
+
+/** Names of all SPEC-like workloads. */
+inline std::vector<std::string>
+specNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : trace::specWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+/** Names of all CloudSuite-like workloads. */
+inline std::vector<std::string>
+cloudNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : trace::cloudWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+/** Names of the paper's eight RL-training workloads. */
+inline std::vector<std::string>
+trainingNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : trace::trainingWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+/**
+ * Shared driver for the IPC-speedup figures (Figs. 10/11): sweep
+ * (workloads x {LRU + policies}), print per-benchmark % speedup
+ * over LRU and the overall geomean.
+ */
+inline void
+runSpeedupFigure(const BenchOptions &opt,
+                 const std::vector<std::string> &workloads,
+                 const std::vector<std::string> &policies,
+                 const std::string &title)
+{
+    std::vector<std::string> all_policies = {"LRU"};
+    all_policies.insert(all_policies.end(), policies.begin(),
+                        policies.end());
+    const auto cells = sim::sweep(workloads, all_policies,
+                                  opt.params, opt.threads);
+
+    std::vector<std::string> header = {"Benchmark"};
+    for (const auto &p : policies)
+        header.push_back(p);
+    util::Table table(header);
+
+    std::vector<std::vector<double>> ratios(policies.size());
+    for (const auto &w : workloads) {
+        const auto &base = sim::findCell(cells, w, "LRU");
+        std::vector<std::string> row = {w};
+        for (size_t p = 0; p < policies.size(); ++p) {
+            const auto &cell =
+                sim::findCell(cells, w, policies[p]);
+            const double ratio = stats::speedup(
+                cell.result.ipc(), base.result.ipc());
+            ratios[p].push_back(ratio);
+            row.push_back(util::Table::fmt(
+                100.0 * (ratio - 1.0), 2));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> overall = {"Overall (geomean)"};
+    for (size_t p = 0; p < policies.size(); ++p) {
+        overall.push_back(util::Table::fmt(
+            100.0 * (stats::geomean(ratios[p]) - 1.0), 2));
+    }
+    table.addRow(overall);
+
+    std::printf("=== %s ===\n", title.c_str());
+    std::puts("(IPC speedup over LRU, %)");
+    emit(opt, table);
+}
+
+/**
+ * Build @p count random 4-workload mixes from @p names (seeded,
+ * reproducible) — the paper's multicore methodology with a
+ * configurable mix count.
+ */
+inline std::vector<std::vector<std::string>>
+makeMixes(const std::vector<std::string> &names, size_t count,
+          uint64_t seed)
+{
+    util::Rng rng(seed ^ 0x4d495845ULL); // "MIXE"
+    std::vector<std::vector<std::string>> mixes;
+    for (size_t m = 0; m < count; ++m) {
+        std::vector<std::string> mix;
+        for (int c = 0; c < 4; ++c)
+            mix.push_back(
+                names[rng.nextBounded(names.size())]);
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+/** One (mix, policy) result of a multicore sweep. */
+struct MixCell
+{
+    size_t mix;
+    std::string policy;
+    sim::RunResult result;
+};
+
+/** Run every (mix, policy) pair in parallel. */
+inline std::vector<MixCell>
+multicoreSweep(const std::vector<std::vector<std::string>> &mixes,
+               const std::vector<std::string> &policies,
+               const sim::SimParams &params, size_t threads)
+{
+    std::vector<MixCell> cells;
+    for (size_t m = 0; m < mixes.size(); ++m)
+        for (const auto &p : policies)
+            cells.push_back(MixCell{m, p, {}});
+    util::ThreadPool::parallelFor(
+        cells.size(), threads, [&](size_t i) {
+            sim::SimParams p = params;
+            p.llc_policy = cells[i].policy;
+            cells[i].result =
+                sim::runWorkloads(mixes[cells[i].mix], p);
+        });
+    return cells;
+}
+
+/** Find a multicore cell. */
+inline const MixCell &
+findMixCell(const std::vector<MixCell> &cells, size_t mix,
+            const std::string &policy)
+{
+    for (const auto &c : cells)
+        if (c.mix == mix && c.policy == policy)
+            return c;
+    util::fatal("mix cell ({}, {}) not found", mix, policy);
+}
+
+} // namespace rlr::bench
+
+#endif // RLR_BENCH_COMMON_HH

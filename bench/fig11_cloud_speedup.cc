@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Regenerates Figure 11: single-core IPC speedup over LRU for the
+ * CloudSuite-like benchmarks.
+ */
+
+#include "bench/common.hh"
+#include "core/policy_factory.hh"
+
+using namespace rlr;
+
+int
+main(int argc, char **argv)
+{
+    auto parser = bench::makeParser(
+        "Figure 11: CloudSuite single-core IPC speedup over LRU");
+    if (!parser.parse(argc, argv))
+        return 0;
+    auto opt = bench::makeOptions(parser);
+
+    auto workloads = opt.workloads;
+    if (workloads.empty())
+        workloads = bench::cloudNames();
+    auto policies = opt.policies;
+    if (policies.empty())
+        policies = core::paperPolicies();
+
+    bench::runSpeedupFigure(
+        opt, workloads, policies,
+        "Figure 11: CloudSuite speedup over LRU");
+    std::puts("\nPaper's overall numbers (1-core CloudSuite): DRRIP "
+              "1.80%, KPC-R 3.07%, SHiP 2.64%, RLR 3.48%, "
+              "RLR(unopt) 4.02%, Hawkeye 2.09%, SHiP++ 4.60%.");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Figure 12: LLC demand MPKI per policy for the
+ * benchmarks with MPKI > 3 (the memory-sensitive subset).
+ */
+
+#include "bench/common.hh"
+#include "core/policy_factory.hh"
+
+using namespace rlr;
+
+int
+main(int argc, char **argv)
+{
+    auto parser = bench::makeParser(
+        "Figure 12: demand MPKI comparison (MPKI > 3 benchmarks)");
+    if (!parser.parse(argc, argv))
+        return 0;
+    auto opt = bench::makeOptions(parser);
+
+    auto workloads = opt.workloads;
+    if (workloads.empty())
+        workloads = bench::specNames();
+    auto policies = opt.policies;
+    if (policies.empty())
+        policies = core::paperPolicies();
+
+    std::vector<std::string> all_policies = {"LRU"};
+    all_policies.insert(all_policies.end(), policies.begin(),
+                        policies.end());
+    const auto cells = sim::sweep(workloads, all_policies,
+                                  opt.params, opt.threads);
+
+    std::vector<std::string> header = {"Benchmark", "LRU"};
+    for (const auto &p : policies)
+        header.push_back(p);
+    util::Table table(header);
+
+    for (const auto &w : workloads) {
+        const auto &base = sim::findCell(cells, w, "LRU");
+        const double base_mpki = base.result.llcDemandMpki();
+        if (base_mpki <= 3.0)
+            continue; // the paper only plots MPKI > 3
+        std::vector<std::string> row = {
+            w, util::Table::fmt(base_mpki, 2)};
+        for (const auto &p : policies) {
+            row.push_back(util::Table::fmt(
+                sim::findCell(cells, w, p).result.llcDemandMpki(),
+                2));
+        }
+        table.addRow(row);
+    }
+
+    std::puts("=== Figure 12: LLC demand MPKI (benchmarks with "
+              "LRU MPKI > 3) ===");
+    bench::emit(opt, table);
+    std::puts("\nPaper's shape: RLR reduces MPKI vs DRRIP on the "
+              "irregular-reuse benchmarks (up to 52% on "
+              "471.omnetpp, min 2.5% on 429.mcf).");
+    return 0;
+}

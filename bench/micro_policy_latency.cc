@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: per-access software cost of
+ * each replacement policy (victim selection + state update). Not
+ * a paper figure — it documents the simulation-speed tradeoffs of
+ * the policies in this library.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/policy_factory.hh"
+#include "util/rng.hh"
+
+using namespace rlr;
+
+namespace
+{
+
+void
+policyBench(benchmark::State &state, const std::string &name)
+{
+    cache::CacheGeometry geom;
+    geom.name = "LLC";
+    geom.size_bytes = 2 * 1024 * 1024;
+    geom.ways = 16;
+    auto policy = core::makePolicy(name, 1);
+    policy->bind(geom);
+
+    util::Rng rng(7);
+    std::vector<cache::BlockView> blocks(geom.ways);
+    for (uint32_t w = 0; w < geom.ways; ++w) {
+        blocks[w] = cache::BlockView{true, false, false,
+                                     (w + 1) * 64ull};
+    }
+
+    for (auto _ : state) {
+        cache::AccessContext ctx;
+        ctx.set = static_cast<uint32_t>(
+            rng.nextBounded(geom.numSets()));
+        ctx.full_addr = rng.next() & ~0x3fULL;
+        ctx.pc = 0x400000 + 4 * rng.nextBounded(64);
+        ctx.type = trace::AccessType::Load;
+        ctx.hit = false;
+        const uint32_t way = policy->findVictim(ctx, blocks);
+        ctx.way = way == cache::ReplacementPolicy::kBypass
+                      ? 0
+                      : way % geom.ways;
+        policy->onAccess(ctx);
+        benchmark::DoNotOptimize(way);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(policyBench, LRU, std::string("LRU"));
+BENCHMARK_CAPTURE(policyBench, DRRIP, std::string("DRRIP"));
+BENCHMARK_CAPTURE(policyBench, SHiP, std::string("SHiP"));
+BENCHMARK_CAPTURE(policyBench, SHiPpp, std::string("SHiP++"));
+BENCHMARK_CAPTURE(policyBench, Hawkeye, std::string("Hawkeye"));
+BENCHMARK_CAPTURE(policyBench, KPC_R, std::string("KPC-R"));
+BENCHMARK_CAPTURE(policyBench, EVA, std::string("EVA"));
+BENCHMARK_CAPTURE(policyBench, PDP, std::string("PDP"));
+BENCHMARK_CAPTURE(policyBench, RLR, std::string("RLR"));
+BENCHMARK_CAPTURE(policyBench, RLR_unopt,
+                  std::string("RLR-unopt"));
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Regenerates Table IV: overall geomean IPC speedup over LRU for
+ * every policy, in four columns: 1-core SPEC2006, 1-core
+ * CloudSuite, 4-core SPEC2006 (random mixes), 4-core CloudSuite
+ * (rotating mixes of the five server workloads).
+ */
+
+#include "bench/common.hh"
+
+using namespace rlr;
+
+namespace
+{
+
+double
+overallSingleCore(const std::vector<sim::SweepCell> &cells,
+                  const std::vector<std::string> &workloads,
+                  const std::string &policy)
+{
+    std::vector<double> ratios;
+    for (const auto &w : workloads) {
+        const auto &base = sim::findCell(cells, w, "LRU");
+        const auto &cell = sim::findCell(cells, w, policy);
+        ratios.push_back(rlr::stats::speedup(
+            cell.result.ipc(), base.result.ipc()));
+    }
+    return rlr::stats::geomean(ratios);
+}
+
+double
+overallMulticore(const std::vector<bench::MixCell> &cells,
+                 size_t n_mixes, const std::string &policy)
+{
+    std::vector<double> ratios;
+    for (size_t m = 0; m < n_mixes; ++m) {
+        const auto &base = bench::findMixCell(cells, m, "LRU");
+        const auto &cell = bench::findMixCell(cells, m, policy);
+        ratios.push_back(cell.result.speedupOver(base.result));
+    }
+    return rlr::stats::geomean(ratios);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto parser = bench::makeParser(
+        "Table IV: overall speedup, 1-core and 4-core");
+    parser.addOption("mixes", "8",
+                     "Random 4-benchmark SPEC mixes");
+    if (!parser.parse(argc, argv))
+        return 0;
+    auto opt = bench::makeOptions(parser);
+    const size_t n_mixes = parser.getUint("mixes");
+
+    const std::vector<std::string> policies = {
+        "DRRIP", "KPC-R", "RLR", "RLR-unopt",
+        "SHiP",  "Hawkeye", "SHiP++"};
+    // The multicore runs keep plain RLR: in this reproduction's
+    // bandwidth-bound synthetic environment the Section IV-D core
+    // priority degrades streaming cores (see EXPERIMENTS.md);
+    // fig13_multicore reports both variants side by side.
+    auto mc_policy = [](const std::string &p) -> std::string {
+        return p;
+    };
+
+    std::vector<std::string> all = {"LRU"};
+    all.insert(all.end(), policies.begin(), policies.end());
+
+    const auto spec = bench::specNames();
+    const auto cloud = bench::cloudNames();
+    const auto spec_cells =
+        sim::sweep(spec, all, opt.params, opt.threads);
+    const auto cloud_cells =
+        sim::sweep(cloud, all, opt.params, opt.threads);
+
+    std::vector<std::string> mc_all = {"LRU"};
+    for (const auto &p : policies)
+        mc_all.push_back(mc_policy(p));
+    const auto spec_mixes =
+        bench::makeMixes(spec, n_mixes, opt.seed);
+    // CloudSuite 4-core: rotate through the five workloads.
+    std::vector<std::vector<std::string>> cloud_mixes;
+    for (size_t m = 0; m < cloud.size(); ++m) {
+        std::vector<std::string> mix;
+        for (size_t c = 0; c < 4; ++c)
+            mix.push_back(cloud[(m + c) % cloud.size()]);
+        cloud_mixes.push_back(std::move(mix));
+    }
+    const auto spec_mc = bench::multicoreSweep(
+        spec_mixes, mc_all, opt.params, opt.threads);
+    const auto cloud_mc = bench::multicoreSweep(
+        cloud_mixes, mc_all, opt.params, opt.threads);
+
+    util::Table table({"Policy", "1-core SPEC2006",
+                       "1-core CloudSuite", "4-core SPEC2006",
+                       "4-core CloudSuite"});
+    for (const auto &p : policies) {
+        table.addRow(
+            {p,
+             util::Table::fmt(
+                 100.0 * (overallSingleCore(spec_cells, spec, p) -
+                          1.0),
+                 2),
+             util::Table::fmt(
+                 100.0 *
+                     (overallSingleCore(cloud_cells, cloud, p) -
+                      1.0),
+                 2),
+             util::Table::fmt(
+                 100.0 * (overallMulticore(spec_mc,
+                                           spec_mixes.size(),
+                                           mc_policy(p)) -
+                          1.0),
+                 2),
+             util::Table::fmt(
+                 100.0 * (overallMulticore(cloud_mc,
+                                           cloud_mixes.size(),
+                                           mc_policy(p)) -
+                          1.0),
+                 2)});
+    }
+
+    std::puts("=== Table IV: overall IPC speedup over LRU (%) ===");
+    bench::emit(opt, table);
+    std::puts(
+        "\nPaper's Table IV: DRRIP 1.50/1.80/2.63/1.07, KPC-R "
+        "2.30/3.07/5.50/3.80, RLR 3.25/3.48/4.86/2.39, "
+        "RLR(unopt) 3.60/4.02/5.87/2.50, SHiP 2.24/2.64/6.33/"
+        "3.09, Hawkeye 3.03/2.09/7.69/2.45, SHiP++ 3.76/4.60/"
+        "7.37/3.89.");
+    return 0;
+}

@@ -1,0 +1,334 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace rlr::cache
+{
+
+namespace
+{
+
+std::string
+typeKey(trace::AccessType type, const char *suffix)
+{
+    return std::string(trace::accessTypeName(type)) + "_" + suffix;
+}
+
+} // namespace
+
+Cache::Cache(CacheGeometry geom,
+             std::unique_ptr<ReplacementPolicy> policy,
+             MemoryLevel *next)
+    : geom_(std::move(geom)), policy_(std::move(policy)),
+      next_(next), stats_(geom_.name)
+{
+    geom_.validate();
+    util::ensure(policy_ != nullptr, "Cache: null policy");
+    util::ensure(next_ != nullptr, "Cache: null next level");
+    blocks_.resize(static_cast<size_t>(geom_.numSets()) * geom_.ways);
+    policy_->bind(geom_);
+}
+
+void
+Cache::setPrefetcher(std::unique_ptr<Prefetcher> prefetcher)
+{
+    prefetcher_ = std::move(prefetcher);
+    if (prefetcher_)
+        prefetcher_->bind(geom_);
+}
+
+Cache::Block &
+Cache::block(uint32_t set, uint32_t way)
+{
+    return blocks_[static_cast<size_t>(set) * geom_.ways + way];
+}
+
+const Cache::Block &
+Cache::block(uint32_t set, uint32_t way) const
+{
+    return blocks_[static_cast<size_t>(set) * geom_.ways + way];
+}
+
+std::optional<uint32_t>
+Cache::lookup(uint32_t set, uint64_t tag) const
+{
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        const Block &b = block(set, w);
+        if (b.valid && b.tag == tag)
+            return w;
+    }
+    return std::nullopt;
+}
+
+void
+Cache::countAccess(trace::AccessType type, bool hit)
+{
+    ++stats_.counter(typeKey(type, "access"));
+    ++stats_.counter(typeKey(type, hit ? "hit" : "miss"));
+}
+
+uint64_t
+Cache::reserveMshr(uint64_t now, uint64_t ready)
+{
+    while (!inflight_.empty() && inflight_.top() <= now)
+        inflight_.pop();
+    if (inflight_.size() >= geom_.mshrs) {
+        // All MSHRs busy: the request waits for the earliest
+        // outstanding miss to complete.
+        now = std::max(now, inflight_.top());
+        inflight_.pop();
+        ++stats_.counter("mshr_stalls");
+    }
+    inflight_.push(ready);
+    return now;
+}
+
+void
+Cache::runPrefetcher(const MemRequest &req, bool hit, uint64_t now)
+{
+    if (!prefetcher_ || in_prefetch_)
+        return;
+    std::vector<PrefetchRequest> proposals;
+    prefetcher_->observe(req.pc, req.address, hit, proposals);
+    if (proposals.empty())
+        return;
+
+    in_prefetch_ = true;
+    for (const auto &p : proposals) {
+        const uint64_t line = CacheGeometry::lineAddress(p.address);
+        const uint32_t set = geom_.setIndex(line);
+        if (lookup(set, geom_.tag(line)))
+            continue; // already present or in flight
+        MemRequest pf;
+        pf.address = line;
+        pf.pc = req.pc;
+        pf.type = trace::AccessType::Prefetch;
+        pf.cpu = req.cpu;
+        pf.pf_confidence = static_cast<float>(p.confidence);
+        ++stats_.counter("prefetches_issued");
+        access(pf, now);
+    }
+    in_prefetch_ = false;
+}
+
+uint64_t
+Cache::access(const MemRequest &req, uint64_t now)
+{
+    now += geom_.latency;
+    const uint64_t line = CacheGeometry::lineAddress(req.address);
+    const uint64_t tag = geom_.tag(line);
+    const uint32_t set = geom_.setIndex(line);
+
+    if (sink_) {
+        trace::LlcAccess rec;
+        rec.pc = req.pc;
+        rec.address = req.address;
+        rec.type = req.type;
+        rec.cpu = req.cpu;
+        sink_(rec);
+    }
+
+    const auto hit_way = lookup(set, tag);
+    const bool demand = trace::isDemand(req.type);
+
+    if (hit_way) {
+        Block &b = block(set, *hit_way);
+        const bool merged = b.ready_at > now;
+        if (demand)
+            b.prefetch = false;
+        if (req.type == trace::AccessType::Writeback ||
+            (writes_on_rfo_ && req.type == trace::AccessType::Rfo)) {
+            b.dirty = true;
+        }
+        if (merged) {
+            // The line is still in flight: this access merges into
+            // the outstanding MSHR and completes with it.
+            countAccess(req.type, false);
+            ++stats_.counter("mshr_merges");
+            if (demand)
+                runPrefetcher(req, false, now);
+            return std::max(now, b.ready_at);
+        }
+        countAccess(req.type, true);
+        AccessContext ctx;
+        ctx.cpu = req.cpu;
+        ctx.set = set;
+        ctx.way = *hit_way;
+        ctx.full_addr = req.address;
+        ctx.pc = req.pc;
+        ctx.type = req.type;
+        ctx.hit = true;
+        policy_->onAccess(ctx);
+        if (demand)
+            runPrefetcher(req, true, now);
+        return now;
+    }
+
+    // Miss.
+    countAccess(req.type, false);
+
+    if (req.type == trace::AccessType::Writeback) {
+        // Write-allocate on writeback: the entire line is being
+        // written, so no fetch from the next level is required.
+        fill(req, now, /*dirty=*/true);
+        return now;
+    }
+
+    const uint64_t issue = now;
+    uint64_t ready = next_->access(req, issue);
+    ready = std::max(ready, issue);
+    const uint64_t adjusted = reserveMshr(issue, ready);
+    ready += adjusted - issue;
+
+    // KPC-style fill-level control: low-confidence prefetches are
+    // not installed at this level (they still filled the levels
+    // below via the recursive miss path).
+    const bool skip_install =
+        req.type == trace::AccessType::Prefetch &&
+        req.pf_confidence < pf_fill_threshold_;
+    if (!skip_install) {
+        fill(req, ready, /*dirty=*/writes_on_rfo_ &&
+                             req.type == trace::AccessType::Rfo);
+    } else {
+        ++stats_.counter("pf_fills_skipped");
+    }
+
+    if (demand)
+        runPrefetcher(req, false, now);
+    return ready;
+}
+
+bool
+Cache::fill(const MemRequest &req, uint64_t ready, bool dirty)
+{
+    const uint64_t line = CacheGeometry::lineAddress(req.address);
+    const uint32_t set = geom_.setIndex(line);
+
+    uint32_t way = geom_.ways;
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        if (!block(set, w).valid) {
+            way = w;
+            break;
+        }
+    }
+
+    if (way == geom_.ways) {
+        std::vector<BlockView> views(geom_.ways);
+        for (uint32_t w = 0; w < geom_.ways; ++w) {
+            const Block &b = block(set, w);
+            views[w] = BlockView{b.valid, b.dirty, b.prefetch,
+                                 b.address};
+        }
+        AccessContext ctx;
+        ctx.cpu = req.cpu;
+        ctx.set = set;
+        ctx.full_addr = req.address;
+        ctx.pc = req.pc;
+        ctx.type = req.type;
+        ctx.hit = false;
+        way = policy_->findVictim(ctx, views);
+
+        if (way == ReplacementPolicy::kBypass) {
+            if (req.type != trace::AccessType::Writeback) {
+                ++stats_.counter("bypasses");
+                return false;
+            }
+            // Writebacks cannot be bypassed; fall back to way 0.
+            way = 0;
+        }
+        util::ensure(way < geom_.ways, "Cache: bad victim way");
+
+        Block &victim = block(set, way);
+        if (victim.valid) {
+            policy_->onEviction(set, way,
+                                BlockView{victim.valid, victim.dirty,
+                                          victim.prefetch,
+                                          victim.address});
+            ++stats_.counter("evictions");
+            if (victim.dirty) {
+                MemRequest wb;
+                wb.address = victim.address;
+                wb.pc = 0;
+                wb.type = trace::AccessType::Writeback;
+                wb.cpu = req.cpu;
+                ++stats_.counter("writebacks_issued");
+                next_->access(wb, ready);
+            }
+        }
+    }
+
+    Block &b = block(set, way);
+    b.valid = true;
+    b.dirty = dirty;
+    b.prefetch = req.type == trace::AccessType::Prefetch;
+    b.tag = geom_.tag(line);
+    b.address = line;
+    b.ready_at = ready;
+
+    AccessContext ctx;
+    ctx.cpu = req.cpu;
+    ctx.set = set;
+    ctx.way = way;
+    ctx.full_addr = req.address;
+    ctx.pc = req.pc;
+    ctx.type = req.type;
+    ctx.hit = false;
+    policy_->onAccess(ctx);
+    return true;
+}
+
+bool
+Cache::probe(uint64_t address) const
+{
+    const uint64_t line = CacheGeometry::lineAddress(address);
+    return lookup(geom_.setIndex(line), geom_.tag(line)).has_value();
+}
+
+std::vector<BlockView>
+Cache::setContents(uint32_t set) const
+{
+    std::vector<BlockView> views(geom_.ways);
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        const Block &b = block(set, w);
+        views[w] = BlockView{b.valid, b.dirty, b.prefetch, b.address};
+    }
+    return views;
+}
+
+void
+Cache::resetStats()
+{
+    stats_.reset();
+}
+
+void
+Cache::flush()
+{
+    std::fill(blocks_.begin(), blocks_.end(), Block{});
+    while (!inflight_.empty())
+        inflight_.pop();
+    stats_.reset();
+}
+
+uint64_t
+Cache::demandAccesses() const
+{
+    return stats_.value("LD_access") + stats_.value("RFO_access");
+}
+
+uint64_t
+Cache::demandHits() const
+{
+    return stats_.value("LD_hit") + stats_.value("RFO_hit");
+}
+
+uint64_t
+Cache::demandMisses() const
+{
+    return stats_.value("LD_miss") + stats_.value("RFO_miss");
+}
+
+} // namespace rlr::cache

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Set-associative, write-back, write-allocate, non-blocking cache
+ * with pluggable replacement policy and prefetcher.
+ */
+
+#ifndef RLR_CACHE_CACHE_HH
+#define RLR_CACHE_CACHE_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/memory_interface.hh"
+#include "cache/prefetcher.hh"
+#include "cache/replacement.hh"
+#include "stats/stats.hh"
+
+namespace rlr::cache
+{
+
+/** Callback invoked for every access to this cache (trace capture). */
+using AccessSink = std::function<void(const trace::LlcAccess &)>;
+
+/**
+ * One cache level.
+ *
+ * Timing: lookups cost `geometry.latency`; misses recurse into the
+ * next level and the block is tagged with its data-ready cycle.
+ * MSHR pressure delays new misses once the outstanding-miss count
+ * reaches `geometry.mshrs`.
+ */
+class Cache : public MemoryLevel
+{
+  public:
+    /**
+     * @param geom shape and timing
+     * @param policy replacement policy (owned)
+     * @param next next level (borrowed; outlives this cache)
+     */
+    Cache(CacheGeometry geom,
+          std::unique_ptr<ReplacementPolicy> policy,
+          MemoryLevel *next);
+
+    /** Attach a prefetcher (owned). May be null. */
+    void setPrefetcher(std::unique_ptr<Prefetcher> prefetcher);
+
+    /**
+     * L1 data caches take ownership on RFO: stores dirty the line
+     * at this level. Lower levels leave RFO fills clean and only
+     * become dirty via writebacks.
+     */
+    void setWritesOnRfo(bool v) { writes_on_rfo_ = v; }
+
+    /** Install an access-capture sink (e.g. LLC trace recording). */
+    void setAccessSink(AccessSink sink) { sink_ = std::move(sink); }
+
+    /**
+     * Minimum prefetch confidence required to install a prefetch
+     * fill at THIS level. Lower-confidence prefetched data still
+     * flows to the requester and fills levels below (KPC-style
+     * fill-level control: low-confidence prefetches skip the L2
+     * but land in the LLC).
+     */
+    void setPrefetchFillThreshold(float t) { pf_fill_threshold_ = t; }
+
+    uint64_t access(const MemRequest &req, uint64_t now) override;
+
+    const std::string &name() const override { return geom_.name; }
+
+    const CacheGeometry &geometry() const { return geom_; }
+    ReplacementPolicy *policy() { return policy_.get(); }
+
+    /** @return true when the line is present (tests/diagnostics). */
+    bool probe(uint64_t address) const;
+
+    /** Read-only views of a set's blocks (tests/diagnostics). */
+    std::vector<BlockView> setContents(uint32_t set) const;
+
+    stats::StatSet &statSet() { return stats_; }
+    const stats::StatSet &statSet() const { return stats_; }
+
+    /** Zero statistics (end of warmup); cache contents persist. */
+    void resetStats();
+
+    /** Invalidate all blocks and clear stats. */
+    void flush();
+
+    /** Demand (LD+RFO) access/hit/miss totals. */
+    uint64_t demandAccesses() const;
+    uint64_t demandHits() const;
+    uint64_t demandMisses() const;
+
+  private:
+    struct Block
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool prefetch = false;
+        uint64_t tag = 0;
+        /** Line-aligned byte address. */
+        uint64_t address = 0;
+        /** Cycle at which the block's data is present. */
+        uint64_t ready_at = 0;
+    };
+
+    Block &block(uint32_t set, uint32_t way);
+    const Block &block(uint32_t set, uint32_t way) const;
+
+    /** @return hit way for (set, tag) or nullopt. */
+    std::optional<uint32_t> lookup(uint32_t set, uint64_t tag) const;
+
+    /**
+     * Install a line, evicting if necessary.
+     * @return false when the fill was bypassed by the policy.
+     */
+    bool fill(const MemRequest &req, uint64_t ready, bool dirty);
+
+    /** Enforce MSHR capacity; may advance @p now. */
+    uint64_t reserveMshr(uint64_t now, uint64_t ready);
+
+    /** Let the prefetcher react to a demand access. */
+    void runPrefetcher(const MemRequest &req, bool hit,
+                       uint64_t now);
+
+    void countAccess(trace::AccessType type, bool hit);
+
+    CacheGeometry geom_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    MemoryLevel *next_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    AccessSink sink_;
+    bool writes_on_rfo_ = false;
+    float pf_fill_threshold_ = 0.0f;
+
+    std::vector<Block> blocks_;
+    /** Data-ready cycles of in-flight misses (MSHR accounting). */
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<>>
+        inflight_;
+    /** Guard against recursive prefetch issue. */
+    bool in_prefetch_ = false;
+
+    stats::StatSet stats_;
+};
+
+} // namespace rlr::cache
+
+#endif // RLR_CACHE_CACHE_HH

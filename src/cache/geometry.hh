@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Static description of a cache's shape and timing.
+ */
+
+#ifndef RLR_CACHE_GEOMETRY_HH
+#define RLR_CACHE_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rlr::cache
+{
+
+/** Cache line size used throughout the simulator. */
+inline constexpr uint64_t kLineBytes = 64;
+
+/** log2 of the line size. */
+inline constexpr unsigned kLineBits = 6;
+
+/**
+ * Geometry and timing of one cache level. Sets are derived from
+ * (size, ways, line size); sizes must be power-of-two multiples.
+ */
+struct CacheGeometry
+{
+    std::string name = "cache";
+    uint64_t size_bytes = 2 * 1024 * 1024;
+    uint32_t ways = 16;
+    /** Hit / lookup latency in cycles. */
+    uint32_t latency = 26;
+    /** Miss-status holding registers (outstanding misses). */
+    uint32_t mshrs = 32;
+
+    /** @return number of sets. */
+    uint32_t
+    numSets() const
+    {
+        return static_cast<uint32_t>(size_bytes /
+                                     (kLineBytes * ways));
+    }
+
+    /** @return total number of cache lines. */
+    uint64_t
+    numLines() const
+    {
+        return size_bytes / kLineBytes;
+    }
+
+    /** @return bits needed to index a set. */
+    unsigned setBits() const { return util::floorLog2(numSets()); }
+
+    /** @return set index of a byte address. */
+    uint32_t
+    setIndex(uint64_t address) const
+    {
+        return static_cast<uint32_t>((address >> kLineBits) &
+                                     util::mask(setBits()));
+    }
+
+    /** @return tag of a byte address. */
+    uint64_t
+    tag(uint64_t address) const
+    {
+        return address >> (kLineBits + setBits());
+    }
+
+    /** @return address of the containing cache line. */
+    static uint64_t
+    lineAddress(uint64_t address)
+    {
+        return util::alignDown(address, kLineBytes);
+    }
+
+    /** Validate shape invariants; calls fatal() when malformed. */
+    void
+    validate() const
+    {
+        if (!util::isPowerOfTwo(size_bytes) ||
+            !util::isPowerOfTwo(ways) ||
+            size_bytes < kLineBytes * ways) {
+            util::fatal("cache '{}': malformed geometry "
+                        "(size={}, ways={})",
+                        name, size_bytes, ways);
+        }
+    }
+};
+
+} // namespace rlr::cache
+
+#endif // RLR_CACHE_GEOMETRY_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The request/response contract between memory-hierarchy levels.
+ *
+ * The hierarchy uses a timestamp-passing functional timing model:
+ * each level's access() consumes the cycle at which the request
+ * arrives and returns the cycle at which data is available. Caches
+ * install fills immediately in program order but tag blocks with
+ * their data-ready cycle, so later requests that would merge into
+ * an MSHR observe the in-flight latency.
+ */
+
+#ifndef RLR_CACHE_MEMORY_INTERFACE_HH
+#define RLR_CACHE_MEMORY_INTERFACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/record.hh"
+
+namespace rlr::cache
+{
+
+/** A request travelling down the hierarchy. */
+struct MemRequest
+{
+    uint64_t address = 0;
+    /** Program counter of the originating instruction (0 for WB). */
+    uint64_t pc = 0;
+    trace::AccessType type = trace::AccessType::Load;
+    uint8_t cpu = 0;
+    /** Prefetch confidence in [0, 1] (Prefetch requests only). */
+    float pf_confidence = 1.0f;
+};
+
+/** Anything that can serve memory requests (cache or DRAM). */
+class MemoryLevel
+{
+  public:
+    virtual ~MemoryLevel() = default;
+
+    /**
+     * Serve @p req arriving at cycle @p now.
+     * @return cycle at which the data is available to the requester.
+     */
+    virtual uint64_t access(const MemRequest &req, uint64_t now) = 0;
+
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace rlr::cache
+
+#endif // RLR_CACHE_MEMORY_INTERFACE_HH

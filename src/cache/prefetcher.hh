@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Prefetcher interface. A prefetcher observes demand accesses to
+ * its cache and proposes line addresses to prefetch; the cache
+ * issues them as AccessType::Prefetch requests.
+ */
+
+#ifndef RLR_CACHE_PREFETCHER_HH
+#define RLR_CACHE_PREFETCHER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "trace/record.hh"
+
+namespace rlr::cache
+{
+
+/** One proposed prefetch. */
+struct PrefetchRequest
+{
+    uint64_t address = 0;
+    /**
+     * Confidence in [0, 1]; confidence-aware consumers (KPC-style
+     * policies, fill-level decisions) may use it, others ignore it.
+     */
+    double confidence = 1.0;
+};
+
+/** Abstract hardware prefetcher attached to one cache level. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Size internal state; called once at attach time. */
+    virtual void bind(const CacheGeometry &geom) = 0;
+
+    /**
+     * Observe a demand access (loads/RFOs only; prefetch and
+     * writeback traffic is not fed back).
+     * @param pc triggering instruction
+     * @param address full byte address
+     * @param hit whether the access hit
+     * @param out proposed prefetches (appended)
+     */
+    virtual void observe(uint64_t pc, uint64_t address, bool hit,
+                         std::vector<PrefetchRequest> &out) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace rlr::cache
+
+#endif // RLR_CACHE_PREFETCHER_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Replacement-policy interface, CRC2-flavoured but idiomatic C++.
+ *
+ * The cache calls `findVictim` on every fill and `onAccess` on
+ * every lookup (hit or fill). Policies own all of their metadata,
+ * sized at bind() time from the cache geometry, and report a
+ * storage-overhead model used to regenerate the paper's Table I.
+ *
+ * The program counter is available in the AccessContext because
+ * PC-based baselines (SHiP, SHiP++, Hawkeye) need it; RLR and the
+ * other non-PC policies never read it, mirroring the paper's
+ * hardware constraint.
+ */
+
+#ifndef RLR_CACHE_REPLACEMENT_HH
+#define RLR_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "cache/geometry.hh"
+#include "trace/record.hh"
+
+namespace rlr::cache
+{
+
+/** Everything a policy may observe about one access. */
+struct AccessContext
+{
+    /** Issuing core. */
+    uint8_t cpu = 0;
+    /** Set index of the access. */
+    uint32_t set = 0;
+    /** Way touched: the hit way, or the fill way. */
+    uint32_t way = 0;
+    /** Full byte address. */
+    uint64_t full_addr = 0;
+    /** Program counter of the triggering instruction (0 for WB). */
+    uint64_t pc = 0;
+    /** LLC access type (LD / RFO / PF / WB). */
+    trace::AccessType type = trace::AccessType::Load;
+    /** True on hit, false on fill-after-miss. */
+    bool hit = false;
+};
+
+/** Read-only view of one cache block exposed to policies. */
+struct BlockView
+{
+    bool valid = false;
+    bool dirty = false;
+    /** Filled by a prefetch and not yet demand-referenced. */
+    bool prefetch = false;
+    /** Line-aligned byte address (valid lines only). */
+    uint64_t address = 0;
+};
+
+/**
+ * Storage overhead model for a policy: metadata bits per cache
+ * line, per set, and global (tables, counters).
+ */
+struct StorageOverhead
+{
+    double bits_per_line = 0;
+    double bits_per_set = 0;
+    double global_bits = 0;
+
+    /** @return total overhead in bytes for @p geom. */
+    double
+    totalBytes(const CacheGeometry &geom) const
+    {
+        const double bits =
+            bits_per_line * static_cast<double>(geom.numLines()) +
+            bits_per_set * static_cast<double>(geom.numSets()) +
+            global_bits;
+        return bits / 8.0;
+    }
+
+    /** @return total overhead in KiB for @p geom. */
+    double
+    totalKiB(const CacheGeometry &geom) const
+    {
+        return totalBytes(geom) / 1024.0;
+    }
+};
+
+/** Abstract replacement policy. One instance serves one cache. */
+class ReplacementPolicy
+{
+  public:
+    /** Returned by findVictim to bypass the fill entirely. */
+    static constexpr uint32_t kBypass =
+        std::numeric_limits<uint32_t>::max();
+
+    virtual ~ReplacementPolicy() = default;
+
+    /** Size metadata for the given geometry; called once. */
+    virtual void bind(const CacheGeometry &geom) = 0;
+
+    /**
+     * Choose a victim way for a fill into ctx.set. The cache fills
+     * invalid ways itself; this is only called when the set is
+     * full. @p blocks has one entry per way.
+     * @return a way index, or kBypass to skip caching the line
+     *         (only honoured for non-writeback fills).
+     */
+    virtual uint32_t findVictim(const AccessContext &ctx,
+                                std::span<const BlockView> blocks) = 0;
+
+    /**
+     * Observe an access: called on every hit and on every fill
+     * (after the victim was chosen and the block installed, with
+     * ctx.way identifying the block).
+     */
+    virtual void onAccess(const AccessContext &ctx) = 0;
+
+    /**
+     * Observe an eviction of a valid block (not called for
+     * bypasses). Default: ignore.
+     */
+    virtual void
+    onEviction(uint32_t set, uint32_t way, const BlockView &block)
+    {
+        (void)set;
+        (void)way;
+        (void)block;
+    }
+
+    /** Policy name used in experiment tables. */
+    virtual std::string name() const = 0;
+
+    /** @return true when the policy reads the program counter. */
+    virtual bool usesPc() const { return false; }
+
+    /** Metadata cost model (Table I). */
+    virtual StorageOverhead overhead() const = 0;
+};
+
+} // namespace rlr::cache
+
+#endif // RLR_CACHE_REPLACEMENT_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Central registry mapping policy names (as used in experiment
+ * tables and on the command line) to constructed policies.
+ */
+
+#ifndef RLR_CORE_POLICY_FACTORY_HH
+#define RLR_CORE_POLICY_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+
+namespace rlr::core
+{
+
+/**
+ * Create a replacement policy by name. Known names:
+ *   LRU, Random, SRRIP, BRRIP, DRRIP, SHiP, SHiP++, Hawkeye,
+ *   KPC-R, EVA, PDP, RLR, RLR-unopt, RLR-mc, RLR-nohit,
+ *   RLR-notype, RLR-bypass
+ * Calls fatal() for unknown names. @p seed feeds stochastic
+ * policies (Random, BRRIP, DRRIP).
+ */
+std::unique_ptr<cache::ReplacementPolicy>
+makePolicy(const std::string &name, uint64_t seed = 1);
+
+/** @return every name makePolicy accepts. */
+std::vector<std::string> knownPolicies();
+
+/** @return the policies compared in the paper's main figures. */
+std::vector<std::string> paperPolicies();
+
+} // namespace rlr::core
+
+#endif // RLR_CORE_POLICY_FACTORY_HH

@@ -1,0 +1,53 @@
+#include "cpu/branch_predictor.hh"
+
+#include "util/bits.hh"
+
+namespace rlr::cpu
+{
+
+GsharePredictor::GsharePredictor(BranchPredictorConfig config)
+    : config_(config)
+{
+    table_.assign(1ULL << config_.index_bits,
+                  util::SatCounter(2, 1)); // weakly not-taken
+}
+
+size_t
+GsharePredictor::index(uint64_t pc) const
+{
+    const uint64_t hist =
+        history_ & util::mask(config_.history_bits);
+    return static_cast<size_t>(((pc >> 2) ^ hist) &
+                               util::mask(config_.index_bits));
+}
+
+bool
+GsharePredictor::predict(uint64_t pc) const
+{
+    const auto &ctr = table_[index(pc)];
+    return ctr.value() >= (ctr.maxValue() + 1) / 2;
+}
+
+void
+GsharePredictor::update(uint64_t pc, bool taken)
+{
+    auto &ctr = table_[index(pc)];
+    if (taken)
+        ++ctr;
+    else
+        --ctr;
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+bool
+GsharePredictor::predictAndUpdate(uint64_t pc, bool taken)
+{
+    ++lookups_;
+    const bool correct = predict(pc) == taken;
+    if (!correct)
+        ++mispredicts_;
+    update(pc, taken);
+    return correct;
+}
+
+} // namespace rlr::cpu

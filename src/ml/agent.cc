@@ -1,0 +1,66 @@
+#include "ml/agent.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rlr::ml
+{
+
+DqnAgent::DqnAgent(AgentConfig config)
+    : config_(config),
+      mlp_(std::make_unique<Mlp>(config.mlp, config.seed)),
+      replay_(config.replay_capacity), rng_(config.seed ^ 0xa5a5),
+      epsilon_(config.epsilon)
+{
+}
+
+uint32_t
+DqnAgent::actGreedy(const std::vector<float> &state) const
+{
+    const auto q = mlp_->forward(state);
+    return static_cast<uint32_t>(
+        std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+uint32_t
+DqnAgent::act(const std::vector<float> &state)
+{
+    ++decisions_;
+    if (rng_.chance(epsilon_)) {
+        return static_cast<uint32_t>(
+            rng_.nextBounded(config_.mlp.outputs));
+    }
+    return actGreedy(state);
+}
+
+void
+DqnAgent::observe(Transition transition)
+{
+    replay_.push(std::move(transition));
+    if (config_.train_interval > 0 &&
+        decisions_ % config_.train_interval == 0) {
+        trainStep();
+    }
+}
+
+void
+DqnAgent::trainStep()
+{
+    if (replay_.empty())
+        return;
+    double loss = 0.0;
+    for (size_t b = 0; b < config_.batch_size; ++b) {
+        const Transition &t = replay_.sample(rng_);
+        // Immediate-reward MDP (the reward already encodes the
+        // quality of the decision relative to Belady), so the
+        // target is the reward itself.
+        const float err =
+            mlp_->trainAction(t.state, t.action, t.reward);
+        loss += 0.5 * static_cast<double>(err) * err;
+    }
+    loss /= static_cast<double>(config_.batch_size);
+    avg_loss_ = 0.99 * avg_loss_ + 0.01 * loss;
+}
+
+} // namespace rlr::ml

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The RL agent of Section III-A: an epsilon-greedy DQN over the
+ * per-way Q-values produced by the MLP, trained by experience
+ * replay against the Belady-based reward.
+ */
+
+#ifndef RLR_ML_AGENT_HH
+#define RLR_ML_AGENT_HH
+
+#include <memory>
+
+#include "ml/mlp.hh"
+#include "ml/replay.hh"
+#include "util/rng.hh"
+
+namespace rlr::ml
+{
+
+/** Agent hyperparameters (defaults = the paper's). */
+struct AgentConfig
+{
+    MlpConfig mlp{};
+    /** Exploration rate (the paper found 0.1 best). */
+    double epsilon = 0.1;
+    size_t replay_capacity = 8192;
+    /** Minibatch size per training step. */
+    size_t batch_size = 16;
+    /** Decisions between training steps (1 = every decision). */
+    unsigned train_interval = 8;
+    uint64_t seed = 1234;
+};
+
+/** Epsilon-greedy DQN agent for victim selection. */
+class DqnAgent
+{
+  public:
+    explicit DqnAgent(AgentConfig config);
+
+    /**
+     * Choose a victim way for @p state (epsilon-greedy while
+     * training; set epsilon to 0 for evaluation).
+     */
+    uint32_t act(const std::vector<float> &state);
+
+    /** Greedy action (no exploration). */
+    uint32_t actGreedy(const std::vector<float> &state) const;
+
+    /** Store a transition and train on schedule. */
+    void observe(Transition transition);
+
+    /** One minibatch update from replay memory. */
+    void trainStep();
+
+    /** Exploration control. */
+    void setEpsilon(double epsilon) { epsilon_ = epsilon; }
+    double epsilon() const { return epsilon_; }
+
+    const Mlp &network() const { return *mlp_; }
+    size_t decisions() const { return decisions_; }
+    /** Running mean TD loss (exponential average, diagnostics). */
+    double avgLoss() const { return avg_loss_; }
+
+    const AgentConfig &config() const { return config_; }
+
+  private:
+    AgentConfig config_;
+    std::unique_ptr<Mlp> mlp_;
+    ReplayMemory replay_;
+    util::Rng rng_;
+    double epsilon_;
+    size_t decisions_ = 0;
+    double avg_loss_ = 0.0;
+};
+
+} // namespace rlr::ml
+
+#endif // RLR_ML_AGENT_HH

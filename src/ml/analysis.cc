@@ -1,0 +1,136 @@
+#include "ml/analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace rlr::ml
+{
+
+TrainResult
+trainAgent(OfflineSimulator &sim, AgentConfig config,
+           unsigned epochs)
+{
+    config.mlp.inputs = sim.extractor().stateSize();
+    config.mlp.outputs = sim.ways();
+
+    TrainResult result;
+    result.agent = std::make_unique<DqnAgent>(config);
+    for (unsigned e = 0; e < epochs; ++e) {
+        const OfflineStats s = sim.runAgent(*result.agent, true);
+        result.epoch_hit_rates.push_back(s.demandHitRate());
+    }
+    result.eval = sim.runAgent(*result.agent, false);
+    return result;
+}
+
+std::vector<double>
+groupSaliency(const Mlp &mlp, const FeatureExtractor &extractor)
+{
+    const auto saliency = mlp.inputSaliencyDelta();
+    std::vector<double> out;
+    out.reserve(kNumFeatureGroups);
+    for (size_t g = 0; g < kNumFeatureGroups; ++g) {
+        const auto indices =
+            extractor.groupIndices(static_cast<FeatureGroup>(g));
+        double acc = 0.0;
+        for (const auto i : indices)
+            acc += saliency[i];
+        out.push_back(indices.empty()
+                          ? 0.0
+                          : acc / static_cast<double>(
+                                      indices.size()));
+    }
+    return out;
+}
+
+std::string
+renderHeatMap(const std::vector<std::string> &benchmarks,
+              const std::vector<std::vector<double>> &columns)
+{
+    util::ensure(benchmarks.size() == columns.size(),
+                 "renderHeatMap: column mismatch");
+    static const char shades[] = " .:-=+*#%@";
+    constexpr size_t nshades = sizeof(shades) - 1;
+
+    // Normalize each column to its own maximum, as the paper's
+    // heat map compares feature importance within a benchmark.
+    std::vector<std::vector<double>> norm = columns;
+    for (auto &col : norm) {
+        double peak = 0.0;
+        for (const auto v : col)
+            peak = std::max(peak, v);
+        if (peak > 0.0)
+            for (auto &v : col)
+                v /= peak;
+    }
+
+    std::string out = util::format("{:<28}", "feature \\ benchmark");
+    for (const auto &b : benchmarks) {
+        std::string label = b.size() > 6 ? b.substr(0, 6) : b;
+        out += util::format(" {:>6}", label);
+    }
+    out += '\n';
+    for (size_t g = 0; g < kNumFeatureGroups; ++g) {
+        out += util::format(
+            "{:<28}",
+            featureGroupName(static_cast<FeatureGroup>(g)));
+        for (size_t c = 0; c < norm.size(); ++c) {
+            const double v =
+                g < norm[c].size() ? norm[c][g] : 0.0;
+            const auto shade = static_cast<size_t>(
+                std::min(1.0, std::max(0.0, v)) *
+                (nshades - 1));
+            out += util::format(" {:>5}{}", "",
+                                std::string(1, shades[shade]));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+HillClimbResult
+hillClimb(OfflineSimulator &sim, AgentConfig config,
+          const std::vector<FeatureGroup> &candidates,
+          unsigned epochs, unsigned max_rounds)
+{
+    HillClimbResult result;
+    std::vector<FeatureGroup> remaining = candidates;
+    double best_rate = 0.0;
+
+    for (unsigned round = 0;
+         round < max_rounds && !remaining.empty(); ++round) {
+        double round_best = -1.0;
+        size_t round_pick = remaining.size();
+
+        for (size_t i = 0; i < remaining.size(); ++i) {
+            std::vector<FeatureGroup> trial = result.selected;
+            trial.push_back(remaining[i]);
+            sim.extractor().setMask(trial);
+            AgentConfig cfg = config;
+            cfg.seed = config.seed + round * 131 + i;
+            const TrainResult tr = trainAgent(sim, cfg, epochs);
+            const double rate = tr.eval.demandHitRate();
+            if (rate > round_best) {
+                round_best = rate;
+                round_pick = i;
+            }
+        }
+
+        if (round_pick == remaining.size() ||
+            round_best <= best_rate) {
+            break; // no improvement: stop climbing
+        }
+        best_rate = round_best;
+        result.selected.push_back(remaining[round_pick]);
+        result.hit_rates.push_back(round_best);
+        remaining.erase(remaining.begin() +
+                        static_cast<long>(round_pick));
+    }
+    sim.extractor().clearMask();
+    return result;
+}
+
+} // namespace rlr::ml

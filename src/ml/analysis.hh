@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The paper's model-analysis pipeline (Section III-B): agent
+ * training helpers, first-layer weight saliency per feature group
+ * (the Figure 3 heat map), and hill-climbing feature selection.
+ */
+
+#ifndef RLR_ML_ANALYSIS_HH
+#define RLR_ML_ANALYSIS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/agent.hh"
+#include "ml/features.hh"
+#include "ml/offline.hh"
+
+namespace rlr::ml
+{
+
+/** Result of training an agent on one trace. */
+struct TrainResult
+{
+    std::unique_ptr<DqnAgent> agent;
+    /** Demand hit rate after each training epoch. */
+    std::vector<double> epoch_hit_rates;
+    /** Greedy-evaluation stats after training. */
+    OfflineStats eval;
+};
+
+/**
+ * Train a fresh agent on @p sim's trace for @p epochs epochs, then
+ * evaluate greedily.
+ */
+TrainResult trainAgent(OfflineSimulator &sim, AgentConfig config,
+                       unsigned epochs);
+
+/**
+ * Mean absolute first-layer weight per feature group (per-line
+ * groups also average across ways) — one heat-map column.
+ */
+std::vector<double> groupSaliency(const Mlp &mlp,
+                                  const FeatureExtractor &extractor);
+
+/**
+ * Render the Figure 3 heat map: rows = feature groups, columns =
+ * benchmarks, shading = saliency normalized per column.
+ */
+std::string
+renderHeatMap(const std::vector<std::string> &benchmarks,
+              const std::vector<std::vector<double>> &columns);
+
+/** Hill-climbing feature selection outcome. */
+struct HillClimbResult
+{
+    /** Selected groups in the order they were added. */
+    std::vector<FeatureGroup> selected;
+    /** Demand hit rate after each addition. */
+    std::vector<double> hit_rates;
+};
+
+/**
+ * Greedy forward feature selection (Section III-B): starting from
+ * the empty set, repeatedly add the candidate group that maximizes
+ * the trained agent's demand hit rate, stopping when no candidate
+ * improves it.
+ *
+ * @param candidates groups to consider
+ * @param epochs training epochs per evaluation
+ * @param max_rounds bound on selected features
+ */
+HillClimbResult
+hillClimb(OfflineSimulator &sim, AgentConfig config,
+          const std::vector<FeatureGroup> &candidates,
+          unsigned epochs, unsigned max_rounds);
+
+} // namespace rlr::ml
+
+#endif // RLR_ML_ANALYSIS_HH

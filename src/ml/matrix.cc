@@ -1,0 +1,86 @@
+#include "ml/matrix.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rlr::ml
+{
+
+Matrix::Matrix(size_t rows, size_t cols, float init)
+    : rows_(rows), cols_(cols),
+      data_(rows * cols, init)
+{
+}
+
+std::span<float>
+Matrix::row(size_t r)
+{
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const float>
+Matrix::row(size_t r) const
+{
+    return {data_.data() + r * cols_, cols_};
+}
+
+void
+Matrix::initXavier(util::Rng &rng)
+{
+    const float bound = std::sqrt(
+        6.0f / static_cast<float>(rows_ + cols_));
+    for (auto &w : data_) {
+        w = static_cast<float>(rng.nextDouble() * 2.0 - 1.0) *
+            bound;
+    }
+}
+
+void
+Matrix::matvec(std::span<const float> x, std::span<float> out) const
+{
+    util::ensure(x.size() == cols_ && out.size() == rows_,
+                 "Matrix::matvec: shape mismatch");
+    for (size_t r = 0; r < rows_; ++r) {
+        const float *w = data_.data() + r * cols_;
+        float acc = 0.0f;
+        for (size_t c = 0; c < cols_; ++c)
+            acc += w[c] * x[c];
+        out[r] = acc;
+    }
+}
+
+void
+Matrix::matvecT(std::span<const float> x, std::span<float> out) const
+{
+    util::ensure(x.size() == rows_ && out.size() == cols_,
+                 "Matrix::matvecT: shape mismatch");
+    for (size_t c = 0; c < cols_; ++c)
+        out[c] = 0.0f;
+    for (size_t r = 0; r < rows_; ++r) {
+        const float xr = x[r];
+        if (xr == 0.0f)
+            continue;
+        const float *w = data_.data() + r * cols_;
+        for (size_t c = 0; c < cols_; ++c)
+            out[c] += xr * w[c];
+    }
+}
+
+void
+Matrix::addOuter(std::span<const float> a, std::span<const float> b,
+                 float scale)
+{
+    util::ensure(a.size() == rows_ && b.size() == cols_,
+                 "Matrix::addOuter: shape mismatch");
+    for (size_t r = 0; r < rows_; ++r) {
+        const float ar = a[r] * scale;
+        if (ar == 0.0f)
+            continue;
+        float *w = data_.data() + r * cols_;
+        for (size_t c = 0; c < cols_; ++c)
+            w[c] += ar * b[c];
+    }
+}
+
+} // namespace rlr::ml

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal dense matrix type backing the MLP. Row-major floats;
+ * just the operations the training loop needs, kept cache-friendly
+ * (the inner loops are the hot path of RL training).
+ */
+
+#ifndef RLR_ML_MATRIX_HH
+#define RLR_ML_MATRIX_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace rlr::ml
+{
+
+/** Row-major dense matrix of floats. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(size_t rows, size_t cols, float init = 0.0f);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    float &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    /** Row view (contiguous). */
+    std::span<float> row(size_t r);
+    std::span<const float> row(size_t r) const;
+
+    std::span<float> data() { return data_; }
+    std::span<const float> data() const { return data_; }
+
+    /** Xavier/Glorot-uniform initialization. */
+    void initXavier(util::Rng &rng);
+
+    /** out = this * x  (rows x cols) * (cols) -> (rows). */
+    void matvec(std::span<const float> x, std::span<float> out) const;
+
+    /** out = this^T * x  (cols) accumulating transposed product. */
+    void matvecT(std::span<const float> x,
+                 std::span<float> out) const;
+
+    /** this += scale * outer(a, b) with a: rows, b: cols. */
+    void addOuter(std::span<const float> a, std::span<const float> b,
+                  float scale);
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace rlr::ml
+
+#endif // RLR_ML_MATRIX_HH

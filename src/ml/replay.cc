@@ -1,0 +1,32 @@
+#include "ml/replay.hh"
+
+#include "util/logging.hh"
+
+namespace rlr::ml
+{
+
+ReplayMemory::ReplayMemory(size_t capacity) : capacity_(capacity)
+{
+    util::ensure(capacity_ > 0, "ReplayMemory: zero capacity");
+    entries_.reserve(capacity_);
+}
+
+void
+ReplayMemory::push(Transition transition)
+{
+    if (entries_.size() < capacity_) {
+        entries_.push_back(std::move(transition));
+    } else {
+        entries_[next_] = std::move(transition);
+    }
+    next_ = (next_ + 1) % capacity_;
+}
+
+const Transition &
+ReplayMemory::sample(util::Rng &rng) const
+{
+    util::ensure(!entries_.empty(), "ReplayMemory: empty sample");
+    return entries_[rng.nextBounded(entries_.size())];
+}
+
+} // namespace rlr::ml

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Experience replay memory (Mnih et al. 2015, as cited by the
+ * paper): a bounded circular buffer of transitions sampled
+ * uniformly for training, decorrelating consecutive decisions.
+ */
+
+#ifndef RLR_ML_REPLAY_HH
+#define RLR_ML_REPLAY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace rlr::ml
+{
+
+/** One replacement decision. */
+struct Transition
+{
+    std::vector<float> state;
+    uint32_t action = 0;
+    float reward = 0.0f;
+};
+
+/** Bounded uniform-sampling replay buffer. */
+class ReplayMemory
+{
+  public:
+    /** @param capacity maximum retained transitions */
+    explicit ReplayMemory(size_t capacity);
+
+    /** Append, overwriting the oldest entry when full. */
+    void push(Transition transition);
+
+    /** Uniformly sample one stored transition. */
+    const Transition &sample(util::Rng &rng) const;
+
+    size_t size() const { return entries_.size(); }
+    size_t capacity() const { return capacity_; }
+    bool empty() const { return entries_.empty(); }
+
+  private:
+    size_t capacity_;
+    size_t next_ = 0;
+    std::vector<Transition> entries_;
+};
+
+} // namespace rlr::ml
+
+#endif // RLR_ML_REPLAY_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * KPC-R replacement (Kim et al., "Kill the Program Counter",
+ * 2017): an RRIP-based, PC-free policy that uses two global
+ * counters to track which insertion position (RRPV max vs max-1)
+ * is paying off in the current program phase and steers follower
+ * sets accordingly. Prefetch hits are not fully promoted, so
+ * non-reused prefetched lines age out (the behaviour the paper
+ * contrasts with RLR's explicit type priority).
+ */
+
+#ifndef RLR_POLICIES_KPC_R_HH
+#define RLR_POLICIES_KPC_R_HH
+
+#include "policies/rrip.hh"
+
+namespace rlr::policies
+{
+
+/** KPC-R: phase-adaptive RRIP insertion without PC. */
+class KpcRPolicy : public RripBase
+{
+  public:
+    explicit KpcRPolicy(unsigned rrpv_bits = 2,
+                        uint32_t leader_sets = 32);
+
+    void bind(const cache::CacheGeometry &geom) override;
+    void onAccess(const cache::AccessContext &ctx) override;
+    std::string name() const override { return "KPC-R"; }
+    cache::StorageOverhead overhead() const override;
+
+    /** @return true when followers insert at distant RRPV. */
+    bool distantSelected() const;
+
+  protected:
+    uint8_t insertionRrpv(const cache::AccessContext &ctx) override;
+
+  private:
+    enum class SetRole { DistantLeader, LongLeader, Follower };
+    SetRole setRole(uint32_t set) const;
+
+    uint32_t leader_sets_;
+    /** Global hit counters for the two leader groups. */
+    util::SatCounter hits_distant_{10};
+    util::SatCounter hits_long_{10};
+    uint64_t accesses_ = 0;
+    bool use_distant_ = false;
+};
+
+} // namespace rlr::policies
+
+#endif // RLR_POLICIES_KPC_R_HH

@@ -1,0 +1,63 @@
+#include "policies/lru.hh"
+
+#include "util/bits.hh"
+
+namespace rlr::policies
+{
+
+void
+LruPolicy::bind(const cache::CacheGeometry &geom)
+{
+    ways_ = geom.ways;
+    clock_ = 0;
+    last_use_.assign(static_cast<size_t>(geom.numSets()) * ways_, 0);
+}
+
+uint32_t
+LruPolicy::findVictim(const cache::AccessContext &ctx,
+                      std::span<const cache::BlockView> blocks)
+{
+    (void)blocks;
+    const size_t base = static_cast<size_t>(ctx.set) * ways_;
+    uint32_t victim = 0;
+    uint64_t oldest = last_use_[base];
+    for (uint32_t w = 1; w < ways_; ++w) {
+        if (last_use_[base + w] < oldest) {
+            oldest = last_use_[base + w];
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+LruPolicy::onAccess(const cache::AccessContext &ctx)
+{
+    last_use_[static_cast<size_t>(ctx.set) * ways_ + ctx.way] =
+        ++clock_;
+}
+
+cache::StorageOverhead
+LruPolicy::overhead() const
+{
+    cache::StorageOverhead o;
+    // log2(ways) recency bits per line (4 bits for 16 ways -> the
+    // paper's 16KB for a 2MB cache).
+    o.bits_per_line = ways_ ? util::ceilLog2(ways_) : 4;
+    return o;
+}
+
+uint32_t
+LruPolicy::recencyRank(uint32_t set, uint32_t way) const
+{
+    const size_t base = static_cast<size_t>(set) * ways_;
+    const uint64_t mine = last_use_[base + way];
+    uint32_t rank = 0;
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (w != way && last_use_[base + w] < mine)
+            ++rank;
+    }
+    return rank;
+}
+
+} // namespace rlr::policies

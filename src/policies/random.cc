@@ -1,0 +1,37 @@
+#include "policies/random.hh"
+
+namespace rlr::policies
+{
+
+RandomPolicy::RandomPolicy(uint64_t seed) : rng_(seed) {}
+
+void
+RandomPolicy::bind(const cache::CacheGeometry &geom)
+{
+    ways_ = geom.ways;
+}
+
+uint32_t
+RandomPolicy::findVictim(const cache::AccessContext &ctx,
+                         std::span<const cache::BlockView> blocks)
+{
+    (void)ctx;
+    (void)blocks;
+    return static_cast<uint32_t>(rng_.nextBounded(ways_));
+}
+
+void
+RandomPolicy::onAccess(const cache::AccessContext &ctx)
+{
+    (void)ctx;
+}
+
+cache::StorageOverhead
+RandomPolicy::overhead() const
+{
+    cache::StorageOverhead o;
+    o.global_bits = 32; // LFSR
+    return o;
+}
+
+} // namespace rlr::policies

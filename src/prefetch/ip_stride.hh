@@ -1,0 +1,61 @@
+/**
+ * @file
+ * IP-stride prefetcher (the paper's L2 prefetcher): per-PC stride
+ * detection with confidence, issuing multi-degree prefetches once
+ * a stride is confirmed.
+ */
+
+#ifndef RLR_PREFETCH_IP_STRIDE_HH
+#define RLR_PREFETCH_IP_STRIDE_HH
+
+#include <vector>
+
+#include "cache/prefetcher.hh"
+#include "util/sat_counter.hh"
+
+namespace rlr::prefetch
+{
+
+/** Configuration of the IP-stride prefetcher. */
+struct IpStrideConfig
+{
+    /** Tracker table entries (direct-mapped by PC hash). */
+    uint32_t table_entries = 256;
+    /** Prefetch degree once confidence saturates. */
+    uint32_t degree = 2;
+    /** Confidence counter bits. */
+    unsigned confidence_bits = 2;
+};
+
+/** Classic per-IP stride prefetcher. */
+class IpStridePrefetcher : public cache::Prefetcher
+{
+  public:
+    explicit IpStridePrefetcher(IpStrideConfig config = {});
+
+    void bind(const cache::CacheGeometry &geom) override;
+    void observe(uint64_t pc, uint64_t address, bool hit,
+                 std::vector<cache::PrefetchRequest> &out) override;
+    std::string name() const override { return "ip-stride"; }
+
+  private:
+    struct Entry
+    {
+        uint64_t pc_tag = 0;
+        uint64_t last_line = 0;
+        int64_t stride = 0;
+        /** Most advanced line already prefetched (stream cursor);
+         *  prevents re-issuing overlapping degree windows. */
+        int64_t pf_cursor = 0;
+        bool cursor_valid = false;
+        util::SatCounter confidence;
+        bool valid = false;
+    };
+
+    IpStrideConfig config_;
+    std::vector<Entry> table_;
+};
+
+} // namespace rlr::prefetch
+
+#endif // RLR_PREFETCH_IP_STRIDE_HH

@@ -1,0 +1,31 @@
+#include "prefetch/next_line.hh"
+
+namespace rlr::prefetch
+{
+
+NextLinePrefetcher::NextLinePrefetcher(bool on_miss_only)
+    : on_miss_only_(on_miss_only)
+{
+}
+
+void
+NextLinePrefetcher::bind(const cache::CacheGeometry &geom)
+{
+    (void)geom;
+}
+
+void
+NextLinePrefetcher::observe(uint64_t pc, uint64_t address, bool hit,
+                            std::vector<cache::PrefetchRequest> &out)
+{
+    (void)pc;
+    if (on_miss_only_ && hit)
+        return;
+    cache::PrefetchRequest req;
+    req.address =
+        cache::CacheGeometry::lineAddress(address) + cache::kLineBytes;
+    req.confidence = 0.5;
+    out.push_back(req);
+}
+
+} // namespace rlr::prefetch

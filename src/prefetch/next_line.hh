@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Next-line prefetcher (the paper's L1 prefetcher): on every
+ * demand access, prefetch the sequentially next cache line.
+ */
+
+#ifndef RLR_PREFETCH_NEXT_LINE_HH
+#define RLR_PREFETCH_NEXT_LINE_HH
+
+#include "cache/prefetcher.hh"
+
+namespace rlr::prefetch
+{
+
+/** Degree-1 sequential prefetcher. */
+class NextLinePrefetcher : public cache::Prefetcher
+{
+  public:
+    /**
+     * @param on_miss_only issue only on demand misses (the usual
+     *        hardware design; firing on every access floods the
+     *        hierarchy with redundant prefetch traffic)
+     */
+    explicit NextLinePrefetcher(bool on_miss_only = true);
+
+    void bind(const cache::CacheGeometry &geom) override;
+    void observe(uint64_t pc, uint64_t address, bool hit,
+                 std::vector<cache::PrefetchRequest> &out) override;
+    std::string name() const override { return "next-line"; }
+
+  private:
+    bool on_miss_only_;
+};
+
+} // namespace rlr::prefetch
+
+#endif // RLR_PREFETCH_NEXT_LINE_HH

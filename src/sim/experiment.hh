@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Experiment drivers: warmup+measure simulation of one workload
+ * (or a multicore mix) under a named LLC policy, plus a threaded
+ * sweep helper used by every bench harness.
+ */
+
+#ifndef RLR_SIM_EXPERIMENT_HH
+#define RLR_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "stats/stats.hh"
+#include "trace/trace_io.hh"
+
+namespace rlr::sim
+{
+
+/** Knobs for one simulation run. */
+struct SimParams
+{
+    /** Warmup instructions per core (stats discarded). */
+    uint64_t warmup_instructions = 1'000'000;
+    /** Measured instructions per core. */
+    uint64_t sim_instructions = 5'000'000;
+    std::string llc_policy = "LRU";
+    L2Prefetcher l2_prefetcher = L2Prefetcher::IpStride;
+    uint64_t seed = 42;
+    bool capture_llc_trace = false;
+    /** Multicore stepping quantum (instructions per turn). */
+    uint32_t interleave_quantum = 64;
+};
+
+/** Per-core outcome of a run. */
+struct CoreResult
+{
+    std::string workload;
+    double ipc = 0.0;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+};
+
+/** Outcome of one simulation run. */
+struct RunResult
+{
+    std::vector<CoreResult> cores;
+    uint64_t llc_demand_accesses = 0;
+    uint64_t llc_demand_hits = 0;
+    uint64_t llc_demand_misses = 0;
+    uint64_t total_instructions = 0;
+
+    /** LLC stat counters (per-type hits/misses, evictions, ...). */
+    stats::StatSet llc_stats;
+    stats::StatSet dram_stats;
+
+    /** Captured LLC access stream (capture_llc_trace only). */
+    trace::LlcTrace llc_trace;
+
+    double llcDemandHitRate() const;
+    /** Demand misses per kilo-instruction. */
+    double llcDemandMpki() const;
+    /** IPC of core 0 (single-core runs). */
+    double ipc() const;
+    /** Geometric-mean speedup of this run over @p baseline. */
+    double speedupOver(const RunResult &baseline) const;
+};
+
+/**
+ * Simulate one or more workloads (one per core) under @p params.
+ * Cores run interleaved in approximate global-time order; finite
+ * sources wrap, as in the paper's multicore methodology.
+ */
+RunResult runWorkloads(const std::vector<std::string> &workloads,
+                       const SimParams &params);
+
+/** Single-core convenience wrapper. */
+RunResult runSingleCore(const std::string &workload,
+                        const SimParams &params);
+
+/**
+ * Capture the LLC access stream of a workload under LRU (the
+ * paper's trace-generation step for offline RL/Belady runs).
+ */
+trace::LlcTrace captureLlcTrace(const std::string &workload,
+                                const SimParams &params);
+
+/** One cell of a (workload x policy) sweep. */
+struct SweepCell
+{
+    std::string workload;
+    std::string policy;
+    RunResult result;
+};
+
+/**
+ * Run every (workload, policy) pair, parallelized across
+ * @p threads worker threads. Results are deterministic: each cell
+ * simulates in isolation with a seed derived from params.seed.
+ */
+std::vector<SweepCell>
+sweep(const std::vector<std::string> &workloads,
+      const std::vector<std::string> &policies,
+      const SimParams &params, size_t threads);
+
+/** Find a cell in a sweep result; fatal() when absent. */
+const SweepCell &findCell(const std::vector<SweepCell> &cells,
+                          const std::string &workload,
+                          const std::string &policy);
+
+} // namespace rlr::sim
+
+#endif // RLR_SIM_EXPERIMENT_HH

@@ -1,0 +1,118 @@
+#include "sim/system.hh"
+
+#include "core/policy_factory.hh"
+#include "policies/lru.hh"
+#include "prefetch/ip_stride.hh"
+#include "prefetch/kpc_p.hh"
+#include "prefetch/next_line.hh"
+#include "util/logging.hh"
+
+namespace rlr::sim
+{
+
+System::System(const SystemConfig &config) : config_(config)
+{
+    util::ensure(config_.num_cores >= 1, "System: no cores");
+
+    dram_ = std::make_unique<mem::Dram>(config_.dram);
+
+    cache::CacheGeometry llc_geom;
+    llc_geom.name = "LLC";
+    llc_geom.size_bytes =
+        config_.llc_size_per_core * config_.num_cores;
+    llc_geom.ways = config_.llc_ways;
+    llc_geom.latency = config_.llc_latency;
+    llc_geom.mshrs = 64 * config_.num_cores;
+    llc_ = std::make_unique<cache::Cache>(
+        llc_geom,
+        core::makePolicy(config_.llc_policy, config_.policy_seed),
+        dram_.get());
+    if (config_.capture_llc_trace) {
+        llc_->setAccessSink([this](const trace::LlcAccess &a) {
+            llc_trace_.append(a);
+        });
+    }
+
+    for (uint32_t i = 0; i < config_.num_cores; ++i) {
+        cache::CacheGeometry l2_geom;
+        l2_geom.name = util::format("cpu{}.L2", i);
+        l2_geom.size_bytes = config_.l2_size;
+        l2_geom.ways = config_.l2_ways;
+        l2_geom.latency = config_.l2_latency;
+        l2_geom.mshrs = 32;
+        auto l2 = std::make_unique<cache::Cache>(
+            l2_geom, std::make_unique<policies::LruPolicy>(),
+            llc_.get());
+        switch (config_.l2_prefetcher) {
+          case L2Prefetcher::IpStride:
+            l2->setPrefetcher(
+                std::make_unique<prefetch::IpStridePrefetcher>());
+            break;
+          case L2Prefetcher::KpcP:
+            l2->setPrefetcher(
+                std::make_unique<prefetch::KpcPPrefetcher>());
+            // KPC-P: low-confidence prefetches skip the L2 but
+            // still fill the LLC (Kim et al.).
+            l2->setPrefetchFillThreshold(0.25f);
+            break;
+          case L2Prefetcher::None:
+            break;
+        }
+
+        cache::CacheGeometry l1i_geom;
+        l1i_geom.name = util::format("cpu{}.L1I", i);
+        l1i_geom.size_bytes = config_.l1i_size;
+        l1i_geom.ways = config_.l1i_ways;
+        l1i_geom.latency = config_.l1i_latency;
+        l1i_geom.mshrs = 8;
+        auto l1i = std::make_unique<cache::Cache>(
+            l1i_geom, std::make_unique<policies::LruPolicy>(),
+            l2.get());
+
+        cache::CacheGeometry l1d_geom;
+        l1d_geom.name = util::format("cpu{}.L1D", i);
+        l1d_geom.size_bytes = config_.l1d_size;
+        l1d_geom.ways = config_.l1d_ways;
+        l1d_geom.latency = config_.l1d_latency;
+        l1d_geom.mshrs = 16;
+        auto l1d = std::make_unique<cache::Cache>(
+            l1d_geom, std::make_unique<policies::LruPolicy>(),
+            l2.get());
+        l1d->setWritesOnRfo(true);
+        if (config_.l1d_prefetcher) {
+            l1d->setPrefetcher(
+                std::make_unique<prefetch::NextLinePrefetcher>());
+        }
+
+        auto core = std::make_unique<cpu::O3Core>(
+            config_.core, static_cast<uint8_t>(i), l1i.get(),
+            l1d.get());
+
+        l2_.push_back(std::move(l2));
+        l1i_.push_back(std::move(l1i));
+        l1d_.push_back(std::move(l1d));
+        cores_.push_back(std::move(core));
+    }
+}
+
+uint32_t
+System::numCores() const
+{
+    return static_cast<uint32_t>(cores_.size());
+}
+
+void
+System::resetStats()
+{
+    dram_->resetStats();
+    llc_->resetStats();
+    for (uint32_t i = 0; i < numCores(); ++i) {
+        l2_[i]->resetStats();
+        l1i_[i]->resetStats();
+        l1d_[i]->resetStats();
+        cores_[i]->beginMeasurement();
+    }
+    llc_trace_.clear();
+}
+
+} // namespace rlr::sim

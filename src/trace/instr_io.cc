@@ -1,0 +1,175 @@
+#include "trace/instr_io.hh"
+
+#include "util/logging.hh"
+
+namespace rlr::trace
+{
+
+namespace
+{
+
+constexpr uint64_t kMagic = 0x524c524953ULL; // "RLRIS"
+constexpr uint32_t kVersion = 1;
+
+struct FileHeader
+{
+    uint64_t magic;
+    uint32_t version;
+    uint32_t reserved;
+    uint64_t count;
+};
+
+struct FileRecord
+{
+    uint64_t pc;
+    uint64_t mem_addr;
+    uint64_t branch_target;
+    uint8_t kind;
+    uint8_t branch_taken;
+    uint8_t dest_reg;
+    uint8_t src0;
+    uint8_t src1;
+    uint8_t pad[3];
+};
+
+FileRecord
+pack(const Instruction &i)
+{
+    FileRecord r{};
+    r.pc = i.pc;
+    r.mem_addr = i.mem_addr;
+    r.branch_target = i.branch_target;
+    r.kind = static_cast<uint8_t>(i.kind);
+    r.branch_taken = i.branch_taken ? 1 : 0;
+    r.dest_reg = i.dest_reg;
+    r.src0 = i.src_regs[0];
+    r.src1 = i.src_regs[1];
+    return r;
+}
+
+Instruction
+unpack(const FileRecord &r)
+{
+    Instruction i;
+    i.pc = r.pc;
+    i.mem_addr = r.mem_addr;
+    i.branch_target = r.branch_target;
+    i.kind = static_cast<InstrKind>(r.kind);
+    i.branch_taken = r.branch_taken != 0;
+    i.dest_reg = r.dest_reg;
+    i.src_regs = {r.src0, r.src1};
+    return i;
+}
+
+void
+writeHeader(std::FILE *f, const std::string &path, uint64_t count)
+{
+    FileHeader hdr{kMagic, kVersion, 0, count};
+    if (std::fwrite(&hdr, sizeof(hdr), 1, f) != 1)
+        util::fatal("short write on '{}'", path);
+}
+
+} // namespace
+
+void
+saveInstructionTrace(const std::string &path,
+                     const std::vector<Instruction> &instructions)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        util::fatal("cannot open '{}' for writing", path);
+    writeHeader(f, path, instructions.size());
+    for (const auto &i : instructions) {
+        const FileRecord r = pack(i);
+        if (std::fwrite(&r, sizeof(r), 1, f) != 1) {
+            std::fclose(f);
+            util::fatal("short write on '{}'", path);
+        }
+    }
+    std::fclose(f);
+}
+
+void
+captureInstructionTrace(const std::string &path,
+                        InstructionSource &source, uint64_t count)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        util::fatal("cannot open '{}' for writing", path);
+    writeHeader(f, path, count);
+    Instruction instr;
+    for (uint64_t i = 0; i < count; ++i) {
+        if (!source.next(instr)) {
+            source.reset();
+            if (!source.next(instr)) {
+                std::fclose(f);
+                util::fatal("source '{}' is empty", source.name());
+            }
+        }
+        const FileRecord r = pack(instr);
+        if (std::fwrite(&r, sizeof(r), 1, f) != 1) {
+            std::fclose(f);
+            util::fatal("short write on '{}'", path);
+        }
+    }
+    std::fclose(f);
+}
+
+std::vector<Instruction>
+loadInstructionTrace(const std::string &path)
+{
+    FileInstructionSource src(path);
+    std::vector<Instruction> out;
+    out.reserve(src.size());
+    Instruction instr;
+    while (src.next(instr))
+        out.push_back(instr);
+    return out;
+}
+
+FileInstructionSource::FileInstructionSource(std::string path)
+    : path_(std::move(path))
+{
+    name_ = "file:" + path_;
+    file_ = std::fopen(path_.c_str(), "rb");
+    if (!file_)
+        util::fatal("cannot open '{}' for reading", path_);
+    FileHeader hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, file_) != 1)
+        util::fatal("cannot read header from '{}'", path_);
+    if (hdr.magic != kMagic)
+        util::fatal("'{}' is not an instruction trace", path_);
+    if (hdr.version != kVersion)
+        util::fatal("'{}': unsupported trace version {}", path_,
+                    hdr.version);
+    count_ = hdr.count;
+}
+
+FileInstructionSource::~FileInstructionSource()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+FileInstructionSource::next(Instruction &out)
+{
+    if (pos_ >= count_)
+        return false;
+    FileRecord r{};
+    if (std::fread(&r, sizeof(r), 1, file_) != 1)
+        util::fatal("truncated instruction trace '{}'", path_);
+    out = unpack(r);
+    ++pos_;
+    return true;
+}
+
+void
+FileInstructionSource::reset()
+{
+    if (std::fseek(file_, sizeof(FileHeader), SEEK_SET) != 0)
+        util::fatal("cannot rewind '{}'", path_);
+    pos_ = 0;
+}
+
+} // namespace rlr::trace

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Instruction-trace file format: lets synthetic workloads be
+ * exported once and replayed (by this simulator or external
+ * tools), and lets externally decoded instruction traces drive
+ * the core model through the same InstructionSource interface.
+ */
+
+#ifndef RLR_TRACE_INSTR_IO_HH
+#define RLR_TRACE_INSTR_IO_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace rlr::trace
+{
+
+/** Write @p instructions to a binary trace file. */
+void saveInstructionTrace(const std::string &path,
+                          const std::vector<Instruction> &instructions);
+
+/**
+ * Capture @p count instructions from @p source into a file.
+ * The source is advanced (not reset) by the capture.
+ */
+void captureInstructionTrace(const std::string &path,
+                             InstructionSource &source,
+                             uint64_t count);
+
+/** Load an entire instruction trace into memory. */
+std::vector<Instruction>
+loadInstructionTrace(const std::string &path);
+
+/**
+ * Streams a trace file as an InstructionSource without loading it
+ * into memory; reset() rewinds to the first record (multicore
+ * wrap-around).
+ */
+class FileInstructionSource : public InstructionSource
+{
+  public:
+    /** @param path trace file; fatal() on open/format errors */
+    explicit FileInstructionSource(std::string path);
+    ~FileInstructionSource() override;
+
+    FileInstructionSource(const FileInstructionSource &) = delete;
+    FileInstructionSource &
+    operator=(const FileInstructionSource &) = delete;
+
+    bool next(Instruction &out) override;
+    void reset() override;
+    const std::string &name() const override { return name_; }
+
+    /** Total records in the file. */
+    uint64_t size() const { return count_; }
+
+  private:
+    std::string path_;
+    std::string name_;
+    std::FILE *file_ = nullptr;
+    uint64_t count_ = 0;
+    uint64_t pos_ = 0;
+};
+
+} // namespace rlr::trace
+
+#endif // RLR_TRACE_INSTR_IO_HH

@@ -1,0 +1,22 @@
+#include "trace/record.hh"
+
+namespace rlr::trace
+{
+
+std::string_view
+accessTypeName(AccessType type)
+{
+    switch (type) {
+      case AccessType::Load:
+        return "LD";
+      case AccessType::Rfo:
+        return "RFO";
+      case AccessType::Prefetch:
+        return "PF";
+      case AccessType::Writeback:
+        return "WB";
+    }
+    return "??";
+}
+
+} // namespace rlr::trace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fundamental record types shared by the trace-driven core model
+ * and the LLC-only offline simulator.
+ */
+
+#ifndef RLR_TRACE_RECORD_HH
+#define RLR_TRACE_RECORD_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rlr::trace
+{
+
+/**
+ * Cache access types as seen by the LLC, matching the paper's
+ * Table II: load (LD), request-for-ownership (RFO), prefetch (PR),
+ * and writeback (WB).
+ */
+enum class AccessType : uint8_t { Load = 0, Rfo, Prefetch, Writeback };
+
+/** Number of distinct access types. */
+inline constexpr size_t kNumAccessTypes = 4;
+
+/** @return short name ("LD", "RFO", "PF", "WB"). */
+std::string_view accessTypeName(AccessType type);
+
+/** @return true for demand (LD/RFO) accesses. */
+constexpr bool
+isDemand(AccessType type)
+{
+    return type == AccessType::Load || type == AccessType::Rfo;
+}
+
+/** Instruction classes in the synthetic instruction stream. */
+enum class InstrKind : uint8_t { Alu = 0, Load, Store, Branch };
+
+/** Register id meaning "no register". */
+inline constexpr uint8_t kNoReg = 0xff;
+
+/** Number of architectural registers modeled by the core. */
+inline constexpr unsigned kNumRegs = 64;
+
+/**
+ * One dynamic instruction. Dependencies are expressed through
+ * architectural registers so the core model can expose
+ * memory-level parallelism differences (e.g. pointer chasing
+ * serializes misses; streaming does not).
+ */
+struct Instruction
+{
+    uint64_t pc = 0;
+    /** Effective address for Load/Store; 0 otherwise. */
+    uint64_t mem_addr = 0;
+    uint64_t branch_target = 0;
+    InstrKind kind = InstrKind::Alu;
+    bool branch_taken = false;
+    uint8_t dest_reg = kNoReg;
+    std::array<uint8_t, 2> src_regs = {kNoReg, kNoReg};
+};
+
+/**
+ * One LLC access record: the trace format consumed by the offline
+ * (RL/Belady) simulator, mirroring the paper's
+ * (PC, Access Type, Address) tuples.
+ */
+struct LlcAccess
+{
+    uint64_t pc = 0;
+    uint64_t address = 0;
+    AccessType type = AccessType::Load;
+    /** Issuing core (multicore traces). */
+    uint8_t cpu = 0;
+
+    bool
+    operator==(const LlcAccess &other) const
+    {
+        return pc == other.pc && address == other.address &&
+               type == other.type && cpu == other.cpu;
+    }
+};
+
+/**
+ * Abstract source of dynamic instructions. Implementations:
+ * synthetic generators (infinite) and file-backed traces (finite,
+ * rewound on demand for multicore runs).
+ */
+class InstructionSource
+{
+  public:
+    virtual ~InstructionSource() = default;
+
+    /**
+     * Produce the next instruction.
+     * @return false when the source is exhausted.
+     */
+    virtual bool next(Instruction &out) = 0;
+
+    /** Rewind to the beginning of the stream. */
+    virtual void reset() = 0;
+
+    /** Human-readable workload name. */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace rlr::trace
+
+#endif // RLR_TRACE_RECORD_HH

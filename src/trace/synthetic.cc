@@ -1,0 +1,355 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rlr::trace
+{
+
+namespace
+{
+
+/** Cache line size assumed throughout the simulator. */
+constexpr uint64_t kLineBytes = 64;
+
+/** Virtual-address region stride separating kernels. */
+constexpr uint64_t kRegionStride = 1ULL << 40;
+
+/** Cap on pointer-chase permutation entries (memory safety). */
+constexpr uint64_t kMaxChaseLines = 1ULL << 22;
+
+} // namespace
+
+std::string_view
+kernelKindName(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::Stream:
+        return "stream";
+      case KernelKind::Strided:
+        return "strided";
+      case KernelKind::PointerChase:
+        return "chase";
+      case KernelKind::Loop:
+        return "loop";
+      case KernelKind::HotCold:
+        return "hotcold";
+      case KernelKind::ScanThrash:
+        return "scanthrash";
+    }
+    return "?";
+}
+
+/** Per-kernel mutable generation state. */
+struct SyntheticGenerator::KernelState
+{
+    KernelSpec spec;
+    /** Base virtual address of the kernel's region. */
+    uint64_t base = 0;
+    /** Lines in the working set. */
+    uint64_t lines = 0;
+    /** Current position (byte offset or line index). */
+    uint64_t pos = 0;
+    /** PointerChase: permutation of line indices. */
+    std::vector<uint32_t> perm;
+    /** HotCold: Zipf sampler over lines. */
+    std::unique_ptr<util::ZipfSampler> zipf;
+    /** ScanThrash: accesses remaining in the current phase. */
+    uint64_t phase_left = 0;
+    bool in_hot_phase = true;
+    /** Scan cursor for the cold region (ScanThrash). */
+    uint64_t scan_pos = 0;
+    /** First code address for this kernel's memory PCs. */
+    uint64_t pc_base = 0;
+};
+
+SyntheticGenerator::SyntheticGenerator(WorkloadProfile profile,
+                                       uint64_t seed)
+    : profile_(std::move(profile)), seed_(seed), rng_(seed)
+{
+    util::ensure(!profile_.kernels.empty(),
+                 "SyntheticGenerator: no kernels");
+    double total_weight = 0.0;
+    for (size_t i = 0; i < profile_.kernels.size(); ++i) {
+        auto ks = std::make_unique<KernelState>();
+        ks->spec = profile_.kernels[i];
+        ks->base = (i + 1) * kRegionStride;
+        ks->lines =
+            std::max<uint64_t>(1, ks->spec.working_set / kLineBytes);
+        ks->pc_base = 0x400000 + i * 0x1000;
+        switch (ks->spec.kind) {
+          case KernelKind::Loop:
+            if (ks->spec.shuffled) {
+                ks->perm.resize(ks->lines);
+                std::iota(ks->perm.begin(), ks->perm.end(), 0u);
+                util::Rng perm_rng(seed ^ (0x5151beefU + i));
+                perm_rng.shuffle(ks->perm);
+            }
+            break;
+          case KernelKind::ScanThrash: {
+            // The hot quarter of the region is visited in a fixed
+            // permutation so the reuse is prefetch-proof.
+            const uint64_t hot_lines =
+                std::max<uint64_t>(1, ks->lines / 4);
+            ks->perm.resize(hot_lines);
+            std::iota(ks->perm.begin(), ks->perm.end(), 0u);
+            util::Rng perm_rng(seed ^ (0x77aa0101U + i));
+            perm_rng.shuffle(ks->perm);
+            ks->phase_left = ks->spec.phase_hot;
+            ks->in_hot_phase = true;
+            break;
+          }
+          case KernelKind::PointerChase: {
+            const uint64_t n = std::min(ks->lines, kMaxChaseLines);
+            ks->lines = n;
+            ks->perm.resize(n);
+            std::iota(ks->perm.begin(), ks->perm.end(), 0u);
+            // Sattolo's algorithm: a single cycle through all lines,
+            // so the chase touches the whole working set.
+            util::Rng perm_rng(seed ^ (0xabcd1234u + i));
+            for (uint64_t k = n - 1; k > 0; --k) {
+                const uint64_t j = perm_rng.nextBounded(k);
+                std::swap(ks->perm[k], ks->perm[j]);
+            }
+            break;
+          }
+          case KernelKind::HotCold:
+            ks->zipf = std::make_unique<util::ZipfSampler>(
+                ks->lines, ks->spec.zipf_alpha);
+            break;
+          default:
+            break;
+        }
+        total_weight += ks->spec.weight;
+        kernels_.push_back(std::move(ks));
+    }
+    double acc = 0.0;
+    for (const auto &ks : kernels_) {
+        acc += ks->spec.weight / total_weight;
+        kernel_cdf_.push_back(acc);
+    }
+    kernel_cdf_.back() = 1.0;
+    loop_branch_pc_ = 0x500000;
+    noise_branch_pc_ = 0x500100;
+}
+
+SyntheticGenerator::~SyntheticGenerator() = default;
+
+void
+SyntheticGenerator::reset()
+{
+    // Re-seed and rebuild mutable state; permutations and samplers
+    // are deterministic functions of (profile, seed) and stay put.
+    rng_ = util::Rng(seed_);
+    seq_ = 0;
+    next_dest_reg_ = 2;
+    for (auto &ks : kernels_) {
+        ks->pos = 0;
+        ks->scan_pos = 0;
+        ks->in_hot_phase = true;
+        ks->phase_left = ks->spec.kind == KernelKind::ScanThrash
+                             ? ks->spec.phase_hot
+                             : 0;
+    }
+}
+
+const std::string &
+SyntheticGenerator::name() const
+{
+    return profile_.name;
+}
+
+uint64_t
+SyntheticGenerator::nextMemAddress(size_t kernel_idx, bool &is_store,
+                                   bool &dependent)
+{
+    KernelState &ks = *kernels_[kernel_idx];
+    const KernelSpec &spec = ks.spec;
+    is_store = rng_.chance(spec.write_frac);
+    dependent = false;
+
+    uint64_t line = 0;
+    switch (spec.kind) {
+      case KernelKind::Stream:
+      case KernelKind::Strided:
+      case KernelKind::Loop: {
+        const uint64_t ws =
+            std::max<uint64_t>(kLineBytes, spec.working_set);
+        line = ks.pos / kLineBytes;
+        if (!ks.perm.empty())
+            line = ks.perm[line % ks.perm.size()];
+        ks.pos = (ks.pos + spec.stride) % ws;
+        break;
+      }
+      case KernelKind::PointerChase:
+        // Nodes are spaced two lines apart: linked-structure
+        // neighbours are not address neighbours, so a next-line
+        // prefetch lands on dead padding (low prefetch accuracy,
+        // as for real graph codes).
+        ks.pos = ks.perm[ks.pos % ks.lines];
+        line = 2 * ks.pos;
+        dependent = true;
+        break;
+      case KernelKind::HotCold:
+        // Scatter ranks across the region with a bijective
+        // multiplicative hash (lines is a power of two): real hot
+        // data is not address-adjacent, and clustering it would
+        // hand delta prefetchers artificial patterns.
+        line = (ks.zipf->sample(rng_) * 0x9E3779B1ULL) %
+               ks.lines; // odd multiplier: bijective for any size
+        break;
+      case KernelKind::ScanThrash: {
+        if (ks.phase_left == 0) {
+            ks.in_hot_phase = !ks.in_hot_phase;
+            ks.phase_left = ks.in_hot_phase ? spec.phase_hot
+                                            : spec.phase_scan;
+        }
+        --ks.phase_left;
+        if (ks.in_hot_phase) {
+            // Tight reuse over the first quarter of the region,
+            // visited in a fixed permutation (prefetch-proof).
+            const uint64_t hot_lines =
+                std::max<uint64_t>(1, ks.lines / 4);
+            line = ks.perm[ks.pos % ks.perm.size()];
+            ks.pos = (ks.pos + 1) % hot_lines;
+        } else {
+            // Long scan over the rest; touches each line once.
+            const uint64_t hot_lines =
+                std::max<uint64_t>(1, ks.lines / 4);
+            const uint64_t cold_lines =
+                std::max<uint64_t>(1, ks.lines - hot_lines);
+            line = hot_lines + (ks.scan_pos % cold_lines);
+            ++ks.scan_pos;
+        }
+        break;
+      }
+    }
+    return ks.base + line * kLineBytes;
+}
+
+void
+SyntheticGenerator::emitBranch(Instruction &out)
+{
+    out.kind = InstrKind::Branch;
+    if (rng_.chance(profile_.branch_noise)) {
+        // Data-dependent branch: ~50% taken, unpredictable.
+        out.pc = noise_branch_pc_ +
+                 16 * rng_.nextBounded(8);
+        out.branch_taken = rng_.chance(0.5);
+    } else {
+        // Loop-style branch: strongly biased taken.
+        out.pc = loop_branch_pc_ + 16 * rng_.nextBounded(4);
+        out.branch_taken = rng_.chance(0.97);
+    }
+    out.branch_target = out.pc + (out.branch_taken ? 64 : 4);
+}
+
+bool
+SyntheticGenerator::next(Instruction &out)
+{
+    out = Instruction{};
+    ++seq_;
+
+    // Instruction fetch address walks the code footprint so the
+    // L1I sees realistic pressure.
+    const uint64_t footprint =
+        std::max<uint64_t>(kLineBytes, profile_.code_footprint);
+    const uint64_t fetch_pc = 0x600000 + (seq_ * 4) % footprint;
+
+    const double r = rng_.nextDouble();
+    if (r < profile_.mem_ratio) {
+        if (rng_.chance(profile_.local_frac)) {
+            // Local (stack/scratch) access: stays within a small
+            // region that lives in the L1.
+            const uint64_t lines = std::max<uint64_t>(
+                1, profile_.local_ws / kLineBytes);
+            out.mem_addr = 0x7f0000000000ULL +
+                           rng_.nextBounded(lines) * kLineBytes;
+            const bool is_store =
+                rng_.chance(profile_.local_write_frac);
+            out.kind = is_store ? InstrKind::Store
+                                : InstrKind::Load;
+            out.pc = 0x700000 + 4 * (seq_ % 8);
+            if (!is_store)
+                out.dest_reg = next_dest_reg_;
+        } else {
+            // Pick a kernel by mixture weight.
+            const double u = rng_.nextDouble();
+            size_t k = 0;
+            while (k + 1 < kernel_cdf_.size() &&
+                   u > kernel_cdf_[k])
+                ++k;
+            bool is_store = false;
+            bool dependent = false;
+            out.mem_addr = nextMemAddress(k, is_store, dependent);
+            out.kind = is_store ? InstrKind::Store
+                                : InstrKind::Load;
+            const KernelState &ks = *kernels_[k];
+            out.pc = ks.pc_base +
+                     4 * (seq_ % std::max(1u, ks.spec.num_pcs));
+            if (dependent) {
+                // Pointer chase: address depends on the previous
+                // chase load. Register 1 is the chase pointer.
+                out.src_regs[0] = 1;
+                if (!is_store)
+                    out.dest_reg = 1;
+            } else if (!is_store) {
+                out.dest_reg = next_dest_reg_;
+            }
+        }
+        if (out.dest_reg == next_dest_reg_) {
+            next_dest_reg_ =
+                static_cast<uint8_t>(2 + (next_dest_reg_ - 1) %
+                                             (kNumRegs - 2));
+        }
+    } else if (r < profile_.mem_ratio + profile_.branch_ratio) {
+        emitBranch(out);
+    } else {
+        out.kind = InstrKind::Alu;
+        out.pc = fetch_pc;
+        out.dest_reg = next_dest_reg_;
+        // Shallow dependency chains: most ALU ops are independent;
+        // some consume a recent value.
+        if (rng_.chance(0.4)) {
+            out.src_regs[0] = static_cast<uint8_t>(
+                2 + rng_.nextBounded(kNumRegs - 2));
+        }
+        next_dest_reg_ = static_cast<uint8_t>(
+            2 + (next_dest_reg_ - 1) % (kNumRegs - 2));
+    }
+    if (out.pc == 0)
+        out.pc = fetch_pc;
+    return true;
+}
+
+VectorInstructionSource::VectorInstructionSource(
+    std::string name, std::vector<Instruction> instructions)
+    : name_(std::move(name)), instructions_(std::move(instructions))
+{
+}
+
+bool
+VectorInstructionSource::next(Instruction &out)
+{
+    if (pos_ >= instructions_.size())
+        return false;
+    out = instructions_[pos_++];
+    return true;
+}
+
+void
+VectorInstructionSource::reset()
+{
+    pos_ = 0;
+}
+
+const std::string &
+VectorInstructionSource::name() const
+{
+    return name_;
+}
+
+} // namespace rlr::trace

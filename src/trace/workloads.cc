@@ -1,0 +1,344 @@
+#include "trace/workloads.hh"
+
+#include "util/logging.hh"
+
+namespace rlr::trace
+{
+
+namespace
+{
+
+constexpr uint64_t kKB = 1024;
+constexpr uint64_t kMB = 1024 * 1024;
+
+KernelSpec
+stream(uint64_t ws, double weight, double write_frac = 0.0)
+{
+    KernelSpec k;
+    k.kind = KernelKind::Stream;
+    k.working_set = ws;
+    k.stride = 64;
+    k.weight = weight;
+    k.write_frac = write_frac;
+    return k;
+}
+
+KernelSpec
+strided(uint64_t ws, uint64_t stride, double weight,
+        double write_frac = 0.0)
+{
+    KernelSpec k;
+    k.kind = KernelKind::Strided;
+    k.working_set = ws;
+    k.stride = stride;
+    k.weight = weight;
+    k.write_frac = write_frac;
+    return k;
+}
+
+KernelSpec
+loop(uint64_t ws, double weight, double write_frac = 0.1)
+{
+    KernelSpec k;
+    k.kind = KernelKind::Loop;
+    k.working_set = ws;
+    k.stride = 64;
+    k.weight = weight;
+    k.write_frac = write_frac;
+    return k;
+}
+
+/** Loop visited in a fixed permutation (prefetch-proof reuse). */
+KernelSpec
+sloop(uint64_t ws, double weight, double write_frac = 0.1)
+{
+    KernelSpec k = loop(ws, weight, write_frac);
+    k.shuffled = true;
+    return k;
+}
+
+KernelSpec
+chase(uint64_t ws, double weight)
+{
+    KernelSpec k;
+    k.kind = KernelKind::PointerChase;
+    k.working_set = ws;
+    k.weight = weight;
+    return k;
+}
+
+KernelSpec
+hotcold(uint64_t ws, double alpha, double weight,
+        double write_frac = 0.05)
+{
+    KernelSpec k;
+    k.kind = KernelKind::HotCold;
+    k.working_set = ws;
+    k.zipf_alpha = alpha;
+    k.weight = weight;
+    k.write_frac = write_frac;
+    return k;
+}
+
+KernelSpec
+scanthrash(uint64_t ws, double weight, uint64_t phase_hot = 16384,
+           uint64_t phase_scan = 16384)
+{
+    KernelSpec k;
+    k.kind = KernelKind::ScanThrash;
+    k.working_set = ws;
+    k.weight = weight;
+    k.phase_hot = phase_hot;
+    k.phase_scan = phase_scan;
+    return k;
+}
+
+WorkloadProfile
+profile(std::string name, std::string suite, double mem_ratio,
+        double branch_ratio, double branch_noise,
+        uint64_t code_footprint, std::vector<KernelSpec> kernels)
+{
+    WorkloadProfile p;
+    p.name = std::move(name);
+    p.suite = std::move(suite);
+    p.mem_ratio = mem_ratio;
+    p.branch_ratio = branch_ratio;
+    p.branch_noise = branch_noise;
+    p.code_footprint = code_footprint;
+    p.kernels = std::move(kernels);
+    return p;
+}
+
+} // namespace
+
+std::vector<WorkloadProfile>
+specWorkloads()
+{
+    std::vector<WorkloadProfile> w;
+    const std::string s = "spec2006";
+
+    // Graph search: dependent pointer walks over a graph that does
+    // not fit in the LLC, plus a small node-scratch loop.
+    w.push_back(profile("473.astar", s, 0.30, 0.20, 0.06, 64 * kKB,
+                        {chase(8 * kMB, 0.6), loop(128 * kKB, 0.4)}));
+    // Dense fluid dynamics: long unit-stride sweeps, prefetch
+    // friendly, huge footprint.
+    w.push_back(profile("410.bwaves", s, 0.40, 0.10, 0.01, 48 * kKB,
+                        {stream(48 * kMB, 0.8, 0.1),
+                         loop(128 * kKB, 0.2)}));
+    // Compression: skewed dictionary lookups + block loops.
+    w.push_back(profile("401.bzip2", s, 0.35, 0.16, 0.05, 96 * kKB,
+                        {hotcold(4 * kMB, 1.0, 0.5),
+                         sloop(512 * kKB, 0.3), stream(8 * kMB, 0.2)}));
+    // Stencil with large strides over a grid exceeding the LLC.
+    w.push_back(profile("436.cactusADM", s, 0.40, 0.08, 0.01,
+                        48 * kKB,
+                        {stream(16 * kMB, 0.55, 0.2),
+                         strided(8 * kMB, 256, 0.15),
+                         loop(96 * kKB, 0.3)}));
+    // FEM solver, mostly cache resident.
+    w.push_back(profile("454.calculix", s, 0.35, 0.12, 0.02,
+                        96 * kKB,
+                        {loop(96 * kKB, 0.7),
+                         strided(2 * kMB, 64, 0.3)}));
+    w.push_back(profile("447.dealII", s, 0.34, 0.14, 0.03, 128 * kKB,
+                        {sloop(384 * kKB, 0.5),
+                         hotcold(3 * kMB, 0.9, 0.3),
+                         stream(6 * kMB, 0.2)}));
+    // Quantum chemistry, tiny working set.
+    w.push_back(profile("416.gamess", s, 0.33, 0.12, 0.02, 64 * kKB,
+                        {loop(48 * kKB, 0.9),
+                         strided(512 * kKB, 64, 0.1)}));
+    // Compiler: irregular pointer-heavy phases + IR scans.
+    w.push_back(profile("403.gcc", s, 0.30, 0.22, 0.08, 384 * kKB,
+                        {chase(3 * kMB, 0.35),
+                         hotcold(2 * kMB, 0.9, 0.35),
+                         stream(12 * kMB, 0.30)}));
+    // FDTD solver: streaming with writebacks, very high MPKI.
+    w.push_back(profile("459.GemsFDTD", s, 0.45, 0.08, 0.01,
+                        48 * kKB,
+                        {stream(64 * kMB, 0.75, 0.3),
+                         strided(24 * kMB, 128, 0.25)}));
+    // Go engine: small data, very branchy.
+    w.push_back(profile("445.gobmk", s, 0.28, 0.25, 0.12, 256 * kKB,
+                        {loop(64 * kKB, 0.8),
+                         hotcold(1 * kMB, 1.0, 0.2)}));
+    w.push_back(profile("435.gromacs", s, 0.36, 0.10, 0.02,
+                        96 * kKB,
+                        {loop(160 * kKB, 0.7),
+                         strided(3 * kMB, 64, 0.3)}));
+    // Video encoder: block-strided with strong short-term reuse.
+    w.push_back(profile("464.h264ref", s, 0.38, 0.14, 0.04,
+                        192 * kKB,
+                        {strided(640 * kKB, 64, 0.6, 0.15),
+                         loop(96 * kKB, 0.4)}));
+    w.push_back(profile("456.hmmer", s, 0.40, 0.10, 0.02, 64 * kKB,
+                        {loop(80 * kKB, 0.9),
+                         strided(1 * kMB, 64, 0.1)}));
+    // Lattice-Boltzmann: write-heavy streaming, little reuse.
+    w.push_back(profile("470.lbm", s, 0.45, 0.05, 0.01, 32 * kKB,
+                        {stream(52 * kMB, 0.85, 0.45),
+                         strided(4 * kMB, 128, 0.15)}));
+    w.push_back(profile("437.leslie3d", s, 0.42, 0.08, 0.01,
+                        48 * kKB,
+                        {stream(36 * kMB, 0.6, 0.25),
+                         strided(12 * kMB, 192, 0.4)}));
+    // Pure streaming, perfectly strided, prefetch friendly.
+    w.push_back(profile("462.libquantum", s, 0.35, 0.15, 0.01,
+                        24 * kKB,
+                        {stream(32 * kMB, 0.95, 0.25),
+                         loop(64 * kKB, 0.05)}));
+    // Sparse network simplex: giant pointer chases, worst-case MPKI.
+    w.push_back(profile("429.mcf", s, 0.35, 0.22, 0.10, 64 * kKB,
+                        {chase(64 * kMB, 0.6),
+                         hotcold(8 * kMB, 0.9, 0.4)}));
+    w.push_back(profile("433.milc", s, 0.40, 0.08, 0.02, 48 * kKB,
+                        {stream(24 * kMB, 0.5, 0.2),
+                         hotcold(12 * kMB, 0.5, 0.5)}));
+    w.push_back(profile("444.namd", s, 0.36, 0.10, 0.02, 96 * kKB,
+                        {sloop(224 * kKB, 0.8),
+                         strided(2 * kMB, 64, 0.2)}));
+    // Discrete-event simulator: working set just beyond the LLC;
+    // the canonical recency-thrash victim.
+    w.push_back(profile("471.omnetpp", s, 0.33, 0.20, 0.07,
+                        256 * kKB,
+                        {scanthrash(6 * kMB, 0.5, 73728, 24576),
+                         chase(4 * kMB, 0.3),
+                         hotcold(2 * kMB, 1.1, 0.2)}));
+    w.push_back(profile("400.perlbench", s, 0.32, 0.24, 0.06,
+                        512 * kKB,
+                        {hotcold(1536 * kKB, 1.2, 0.5),
+                         loop(128 * kKB, 0.5)}));
+    w.push_back(profile("453.povray", s, 0.30, 0.18, 0.04,
+                        128 * kKB,
+                        {loop(64 * kKB, 0.9),
+                         hotcold(512 * kKB, 1.0, 0.1)}));
+    w.push_back(profile("458.sjeng", s, 0.28, 0.24, 0.12,
+                        192 * kKB,
+                        {hotcold(1536 * kKB, 0.9, 0.6),
+                         loop(96 * kKB, 0.4)}));
+    // LP solver over sparse matrices: strided sweeps + indirection.
+    w.push_back(profile("450.soplex", s, 0.40, 0.14, 0.04,
+                        128 * kKB,
+                        {strided(20 * kMB, 256, 0.5, 0.15),
+                         chase(8 * kMB, 0.25),
+                         stream(16 * kMB, 0.25)}));
+    // Speech recognition: model scans slightly above LLC capacity.
+    w.push_back(profile("482.sphinx3", s, 0.35, 0.12, 0.03,
+                        96 * kKB,
+                        {scanthrash(5 * kMB, 0.55, 51200, 20480),
+                         sloop(256 * kKB, 0.25),
+                         stream(8 * kMB, 0.20)}));
+    w.push_back(profile("465.tonto", s, 0.34, 0.12, 0.03,
+                        128 * kKB,
+                        {sloop(256 * kKB, 0.7),
+                         strided(3 * kMB, 64, 0.3)}));
+    w.push_back(profile("481.wrf", s, 0.40, 0.08, 0.01, 96 * kKB,
+                        {stream(24 * kMB, 0.45, 0.2),
+                         strided(12 * kMB, 256, 0.15),
+                         loop(160 * kKB, 0.4)}));
+    // XML transformer: pointer structures + document scans that
+    // thrash the LLC.
+    w.push_back(profile("483.xalancbmk", s, 0.32, 0.24, 0.06,
+                        384 * kKB,
+                        {chase(6 * kMB, 0.45),
+                         scanthrash(6 * kMB, 0.35, 49152, 16384),
+                         hotcold(1 * kMB, 1.2, 0.2)}));
+    w.push_back(profile("434.zeusmp", s, 0.40, 0.08, 0.01,
+                        64 * kKB,
+                        {stream(20 * kMB, 0.4, 0.25),
+                         strided(10 * kMB, 192, 0.15),
+                         loop(128 * kKB, 0.45)}));
+    return w;
+}
+
+std::vector<WorkloadProfile>
+cloudWorkloads()
+{
+    std::vector<WorkloadProfile> w;
+    const std::string s = "cloudsuite";
+    // Server workloads: multi-megabyte code footprints, skewed data
+    // reuse over large heaps, little spatial locality.
+    {
+        auto prof = profile("cassandra", s, 0.33, 0.20, 0.06,
+                            2 * kMB,
+                            {hotcold(32 * kMB, 0.9, 0.5, 0.15),
+                             chase(8 * kMB, 0.25),
+                             stream(16 * kMB, 0.25)});
+        prof.local_frac = 0.87;
+        w.push_back(prof);
+    }
+    {
+        auto prof = profile("classification", s, 0.36, 0.16, 0.04,
+                            1 * kMB,
+                            {stream(48 * kMB, 0.25, 0.1),
+                             hotcold(16 * kMB, 1.1, 0.55),
+                             loop(128 * kKB, 0.2)});
+        prof.local_frac = 0.85;
+        w.push_back(prof);
+    }
+    w.push_back(profile("cloud9", s, 0.30, 0.22, 0.08, 3 * kMB,
+                        {chase(12 * kMB, 0.4),
+                         hotcold(8 * kMB, 1.0, 0.4),
+                         stream(8 * kMB, 0.2)}));
+    {
+        auto prof = profile("nutch", s, 0.32, 0.20, 0.06, 2 * kMB,
+                            {hotcold(24 * kMB, 0.7, 0.55, 0.1),
+                             scanthrash(5 * kMB, 0.25, 40960,
+                                        16384),
+                             loop(128 * kKB, 0.2)});
+        prof.local_frac = 0.84;
+        w.push_back(prof);
+    }
+    {
+        auto prof = profile("streaming", s, 0.38, 0.14, 0.03,
+                            1 * kMB,
+                            {stream(64 * kMB, 0.85, 0.1),
+                             hotcold(1 * kMB, 1.0, 0.15)});
+        prof.local_frac = 0.85;
+        w.push_back(prof);
+    }
+    return w;
+}
+
+std::vector<WorkloadProfile>
+allWorkloads()
+{
+    auto all = specWorkloads();
+    const auto cloud = cloudWorkloads();
+    all.insert(all.end(), cloud.begin(), cloud.end());
+    return all;
+}
+
+std::vector<WorkloadProfile>
+trainingWorkloads()
+{
+    static const char *const names[] = {
+        "459.GemsFDTD", "403.gcc",      "429.mcf",
+        "450.soplex",   "470.lbm",      "437.leslie3d",
+        "471.omnetpp",  "483.xalancbmk",
+    };
+    std::vector<WorkloadProfile> out;
+    for (const auto *name : names)
+        out.push_back(findWorkload(name));
+    return out;
+}
+
+WorkloadProfile
+findWorkload(const std::string &name)
+{
+    for (auto &p : allWorkloads()) {
+        if (p.name == name)
+            return p;
+    }
+    util::fatal("unknown workload '{}'", name);
+}
+
+std::unique_ptr<SyntheticGenerator>
+makeGenerator(const std::string &name, uint64_t seed)
+{
+    return std::make_unique<SyntheticGenerator>(findWorkload(name),
+                                                seed);
+}
+
+} // namespace rlr::trace

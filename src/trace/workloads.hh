@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Catalog of synthetic benchmark profiles standing in for the
+ * paper's SPEC CPU2006 and CloudSuite workloads (see DESIGN.md for
+ * the substitution rationale). Profile parameters are chosen from
+ * each benchmark's published LLC character: MPKI class, dominant
+ * access pattern, working-set size relative to the 2MB LLC,
+ * prefetch friendliness, and write intensity.
+ */
+
+#ifndef RLR_TRACE_WORKLOADS_HH
+#define RLR_TRACE_WORKLOADS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace rlr::trace
+{
+
+/** @return all SPEC CPU2006-like profiles (29 entries). */
+std::vector<WorkloadProfile> specWorkloads();
+
+/** @return all CloudSuite-like profiles (5 entries). */
+std::vector<WorkloadProfile> cloudWorkloads();
+
+/** @return spec + cloud profiles. */
+std::vector<WorkloadProfile> allWorkloads();
+
+/**
+ * The eight benchmarks the paper uses for RL training and the
+ * feature-statistics figures (Figs. 3-7): 459.GemsFDTD, 403.gcc,
+ * 429.mcf, 450.soplex, 470.lbm, 437.leslie3d, 471.omnetpp,
+ * 483.xalancbmk.
+ */
+std::vector<WorkloadProfile> trainingWorkloads();
+
+/** Look up a profile by name; calls fatal() when unknown. */
+WorkloadProfile findWorkload(const std::string &name);
+
+/** @return a generator for the named profile. */
+std::unique_ptr<SyntheticGenerator>
+makeGenerator(const std::string &name, uint64_t seed);
+
+} // namespace rlr::trace
+
+#endif // RLR_TRACE_WORKLOADS_HH

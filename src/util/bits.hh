@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef RLR_UTIL_BITS_HH
+#define RLR_UTIL_BITS_HH
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace rlr::util
+{
+
+/** @return true when @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); v must be nonzero. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** @return ceil(log2(v)); v must be nonzero. */
+constexpr unsigned
+ceilLog2(uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** @return a mask with the low @p nbits bits set. */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~0ULL : ((1ULL << nbits) - 1);
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p v. */
+constexpr uint64_t
+bits(uint64_t v, unsigned last, unsigned first)
+{
+    return (v >> first) & mask(last - first + 1);
+}
+
+/** Insert the low bits of @p val into bits [first, last] of @p dst. */
+constexpr uint64_t
+insertBits(uint64_t dst, unsigned last, unsigned first, uint64_t val)
+{
+    const uint64_t m = mask(last - first + 1) << first;
+    return (dst & ~m) | ((val << first) & m);
+}
+
+/**
+ * Fold (XOR) a value into @p nbits bits. Used for PC signatures in
+ * SHiP-style predictors.
+ */
+constexpr uint64_t
+foldXor(uint64_t v, unsigned nbits)
+{
+    if (nbits == 0 || nbits >= 64)
+        return v;
+    uint64_t out = 0;
+    while (v) {
+        out ^= v & mask(nbits);
+        v >>= nbits;
+    }
+    return out;
+}
+
+/** Align @p v down to a multiple of @p align (power of two). */
+constexpr uint64_t
+alignDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+} // namespace rlr::util
+
+#endif // RLR_UTIL_BITS_HH

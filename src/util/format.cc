@@ -1,0 +1,204 @@
+#include "util/format.hh"
+
+#include <charconv>
+#include <cstdio>
+
+namespace rlr::util
+{
+
+namespace
+{
+
+struct Spec
+{
+    char align = 0;    // '<', '>' or 0 (default by type)
+    int width = 0;     // 0 = none
+    int precision = -1; // -1 = none
+    char type = 0;     // 'f', 'x', or 0
+};
+
+std::string
+applyPad(std::string body, const Spec &spec, bool numeric)
+{
+    if (static_cast<int>(body.size()) >= spec.width)
+        return body;
+    const size_t pad = spec.width - body.size();
+    char align = spec.align;
+    if (align == 0)
+        align = numeric ? '>' : '<';
+    if (align == '>')
+        return std::string(pad, ' ') + body;
+    return body + std::string(pad, ' ');
+}
+
+std::string
+renderFloat(double v, const Spec &spec)
+{
+    const int prec = spec.precision >= 0 ? spec.precision : 6;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+renderInt(int64_t v, const Spec &spec)
+{
+    char buf[32];
+    if (spec.type == 'x')
+        std::snprintf(buf, sizeof(buf), "%llx",
+                      static_cast<unsigned long long>(v));
+    else
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    return buf;
+}
+
+std::string
+renderUint(uint64_t v, const Spec &spec)
+{
+    char buf[32];
+    if (spec.type == 'x')
+        std::snprintf(buf, sizeof(buf), "%llx",
+                      static_cast<unsigned long long>(v));
+    else
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+renderArg(const FmtArg &arg, const Spec &spec)
+{
+    bool numeric = true;
+    std::string body;
+    switch (arg.kind()) {
+      case FmtArg::Kind::Int:
+        body = renderInt(arg.asInt(), spec);
+        break;
+      case FmtArg::Kind::Uint:
+        body = renderUint(arg.asUint(), spec);
+        break;
+      case FmtArg::Kind::Float:
+        body = renderFloat(arg.asFloat(), spec);
+        break;
+      case FmtArg::Kind::Bool:
+        body = arg.asUint() ? "true" : "false";
+        numeric = false;
+        break;
+      case FmtArg::Kind::Char:
+        body = std::string(1, static_cast<char>(arg.asUint()));
+        numeric = false;
+        break;
+      case FmtArg::Kind::Str:
+        body = std::string(arg.asStr());
+        numeric = false;
+        break;
+    }
+    return applyPad(std::move(body), spec, numeric);
+}
+
+// Parses an unsigned integer at fmt[pos...]; advances pos.
+int
+parseNumber(std::string_view fmt, size_t &pos)
+{
+    int v = 0;
+    while (pos < fmt.size() && fmt[pos] >= '0' && fmt[pos] <= '9') {
+        v = v * 10 + (fmt[pos] - '0');
+        ++pos;
+    }
+    return v;
+}
+
+} // namespace
+
+int64_t
+FmtArg::asInt() const
+{
+    if (kind_ == Kind::Uint)
+        return static_cast<int64_t>(u_);
+    return i_;
+}
+
+std::string
+vformat(std::string_view fmt, std::span<const FmtArg> args)
+{
+    std::string out;
+    out.reserve(fmt.size() + 16);
+    size_t next_arg = 0;
+
+    auto take_arg = [&]() -> const FmtArg & {
+        static const FmtArg missing{std::string_view("<missing>")};
+        if (next_arg >= args.size())
+            return missing;
+        return args[next_arg++];
+    };
+
+    for (size_t i = 0; i < fmt.size(); ++i) {
+        const char c = fmt[i];
+        if (c == '}' ) {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '}')
+                ++i;
+            out += '}';
+            continue;
+        }
+        if (c != '{') {
+            out += c;
+            continue;
+        }
+        if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+            out += '{';
+            ++i;
+            continue;
+        }
+
+        // Parse a replacement field. Dynamic width/precision args
+        // are consumed after the value arg, matching std::format's
+        // automatic indexing order.
+        size_t pos = i + 1;
+        Spec spec;
+        bool dyn_width = false;
+        bool dyn_precision = false;
+        if (pos < fmt.size() && fmt[pos] == ':') {
+            ++pos;
+            if (pos < fmt.size() &&
+                (fmt[pos] == '<' || fmt[pos] == '>')) {
+                spec.align = fmt[pos];
+                ++pos;
+            }
+            if (pos + 1 < fmt.size() && fmt[pos] == '{' &&
+                fmt[pos + 1] == '}') {
+                dyn_width = true;
+                pos += 2;
+            } else {
+                spec.width = parseNumber(fmt, pos);
+            }
+            if (pos < fmt.size() && fmt[pos] == '.') {
+                ++pos;
+                if (pos + 1 < fmt.size() && fmt[pos] == '{' &&
+                    fmt[pos + 1] == '}') {
+                    dyn_precision = true;
+                    pos += 2;
+                } else {
+                    spec.precision = parseNumber(fmt, pos);
+                }
+            }
+            if (pos < fmt.size() && fmt[pos] != '}') {
+                spec.type = fmt[pos];
+                ++pos;
+            }
+        }
+        // Skip to the closing brace (tolerate unknown spec chars).
+        while (pos < fmt.size() && fmt[pos] != '}')
+            ++pos;
+        const FmtArg &value = take_arg();
+        if (dyn_width)
+            spec.width = static_cast<int>(take_arg().asInt());
+        if (dyn_precision)
+            spec.precision = static_cast<int>(take_arg().asInt());
+        out += renderArg(value, spec);
+        i = pos;
+    }
+    return out;
+}
+
+} // namespace rlr::util

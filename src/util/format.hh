@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal std::format work-alike (the toolchain's libstdc++ ships
+ * no <format>). Supports the subset used in this codebase:
+ *
+ *   {}            default formatting
+ *   {:<W} {:>W}   explicit alignment with width W
+ *   {:W}          width (right-aligned numbers, left-aligned text)
+ *   {:.Pf}        fixed precision for floating point
+ *   {:x}          hexadecimal integers
+ *   {:<{}} {:.{}f} dynamic width/precision taken from the args
+ *   {{ }}         brace escapes
+ */
+
+#ifndef RLR_UTIL_FORMAT_HH
+#define RLR_UTIL_FORMAT_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace rlr::util
+{
+
+/** Type-erased format argument. */
+class FmtArg
+{
+  public:
+    enum class Kind { Int, Uint, Float, Str, Bool, Char };
+
+    FmtArg(bool v) : kind_(Kind::Bool), u_(v) {}
+    FmtArg(char v) : kind_(Kind::Char), u_(static_cast<uint8_t>(v)) {}
+    FmtArg(double v) : kind_(Kind::Float), f_(v) {}
+    FmtArg(float v) : kind_(Kind::Float), f_(v) {}
+    FmtArg(const char *v) : kind_(Kind::Str), s_(v) {}
+    FmtArg(std::string_view v) : kind_(Kind::Str), s_(v) {}
+    FmtArg(const std::string &v) : kind_(Kind::Str), s_(v) {}
+
+    template <typename T>
+        requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+                 !std::is_same_v<T, char>)
+    FmtArg(T v)
+        : kind_(std::is_signed_v<T> ? Kind::Int : Kind::Uint)
+    {
+        if constexpr (std::is_signed_v<T>)
+            i_ = v;
+        else
+            u_ = v;
+    }
+
+    Kind kind() const { return kind_; }
+    int64_t asInt() const;
+    uint64_t asUint() const { return u_; }
+    double asFloat() const { return f_; }
+    std::string_view asStr() const { return s_; }
+
+  private:
+    Kind kind_;
+    int64_t i_ = 0;
+    uint64_t u_ = 0;
+    double f_ = 0.0;
+    std::string_view s_;
+};
+
+/** Format with a runtime argument list. */
+std::string vformat(std::string_view fmt, std::span<const FmtArg> args);
+
+/** Format with inline arguments (std::format-style call shape). */
+template <typename... Args>
+std::string
+format(std::string_view fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return vformat(fmt, {});
+    } else {
+        const FmtArg arr[] = {FmtArg(args)...};
+        return vformat(fmt, arr);
+    }
+}
+
+} // namespace rlr::util
+
+#endif // RLR_UTIL_FORMAT_HH

@@ -1,0 +1,65 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <mutex>
+
+namespace rlr::util
+{
+
+namespace
+{
+
+std::atomic<bool> quiet{false};
+
+void
+defaultHook(LogLevel level, std::string_view msg)
+{
+    static std::mutex io_mutex;
+    std::scoped_lock lock(io_mutex);
+    switch (level) {
+      case LogLevel::Info:
+        if (!quiet.load(std::memory_order_relaxed))
+            std::cerr << "info: " << msg << '\n';
+        break;
+      case LogLevel::Warn:
+        if (!quiet.load(std::memory_order_relaxed))
+            std::cerr << "warn: " << msg << '\n';
+        break;
+      case LogLevel::Fatal:
+        std::cerr << "fatal: " << msg << '\n';
+        break;
+      case LogLevel::Panic:
+        std::cerr << "panic: " << msg << '\n';
+        break;
+    }
+}
+
+std::atomic<LogHook> current_hook{&defaultHook};
+
+} // namespace
+
+LogHook
+setLogHook(LogHook hook)
+{
+    return current_hook.exchange(hook ? hook : &defaultHook);
+}
+
+void
+logMessage(LogLevel level, std::string_view msg)
+{
+    current_hook.load()(level, msg);
+}
+
+void
+setLogQuiet(bool q)
+{
+    quiet.store(q, std::memory_order_relaxed);
+}
+
+bool
+logQuiet()
+{
+    return quiet.load(std::memory_order_relaxed);
+}
+
+} // namespace rlr::util

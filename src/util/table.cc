@@ -1,0 +1,86 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include "util/format.hh"
+
+#include "util/logging.hh"
+
+namespace rlr::util
+{
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    ensure(!header_.empty(), "Table: empty header");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    ensure(row.size() == header_.size(), "Table: row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    return util::format("{:.{}f}", v, precision);
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    return util::format("{:.{}f}%", v * 100.0, precision);
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += util::format("{:<{}}", row[c], widths[c]);
+            if (c + 1 < row.size())
+                line += "  ";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(header_);
+    size_t total = 0;
+    for (const auto w : widths)
+        total += w + 2;
+    out += std::string(total > 2 ? total - 2 : total, '-') + '\n';
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+std::string
+Table::csv() const
+{
+    auto render_row = [](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += ',';
+        }
+        line += '\n';
+        return line;
+    };
+    std::string out = render_row(header_);
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+} // namespace rlr::util

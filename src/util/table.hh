@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Console table formatting for experiment output. Bench binaries
+ * print the same rows/series as the paper's tables and figures;
+ * this keeps their output aligned and optionally CSV-exportable.
+ */
+
+#ifndef RLR_UTIL_TABLE_HH
+#define RLR_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace rlr::util
+{
+
+/** Row/column table that renders aligned text or CSV. */
+class Table
+{
+  public:
+    /** @param header column titles */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience cell formatting helpers. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string pct(double v, int precision = 2);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Render as CSV. */
+    std::string csv() const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rlr::util
+
+#endif // RLR_UTIL_TABLE_HH

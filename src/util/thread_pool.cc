@@ -1,0 +1,91 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rlr::util
+{
+
+ThreadPool::ThreadPool(size_t nthreads)
+{
+    if (nthreads == 0) {
+        nthreads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(nthreads);
+    for (size_t i = 0; i < nthreads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::scoped_lock lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::scoped_lock lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n, size_t nthreads,
+                        const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (nthreads <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    const size_t workers = std::min(n, nthreads);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([&] {
+            for (;;) {
+                const size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+}
+
+} // namespace rlr::util

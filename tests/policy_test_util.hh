@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for replacement-policy tests: tiny geometries,
+ * scripted access sequences, and trace builders for the offline
+ * simulator.
+ */
+
+#ifndef RLR_TESTS_POLICY_TEST_UTIL_HH
+#define RLR_TESTS_POLICY_TEST_UTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "ml/offline.hh"
+#include "trace/trace_io.hh"
+
+namespace rlr::test
+{
+
+/** 4-set, 4-way geometry for direct policy poking. */
+inline cache::CacheGeometry
+tinyGeometry()
+{
+    cache::CacheGeometry g;
+    g.name = "tiny";
+    g.size_bytes = 4 * 4 * 64; // 4 sets x 4 ways
+    g.ways = 4;
+    return g;
+}
+
+/** Build an LLC access trace from (address, type) pairs. */
+inline trace::LlcTrace
+makeTrace(
+    const std::vector<std::pair<uint64_t, trace::AccessType>> &seq,
+    uint64_t pc = 0x400)
+{
+    trace::LlcTrace t;
+    for (const auto &[addr, type] : seq)
+        t.append({pc, addr, type, 0});
+    return t;
+}
+
+/** Load-only trace from a list of line indices (addr = idx*64). */
+inline trace::LlcTrace
+loadTrace(const std::vector<uint64_t> &lines, uint64_t pc = 0x400)
+{
+    trace::LlcTrace t;
+    for (const auto l : lines)
+        t.append({pc, l * 64, trace::AccessType::Load, 0});
+    return t;
+}
+
+/** Offline sim with a small cache (64 lines: 16 sets x 4 ways). */
+inline ml::OfflineConfig
+smallOffline()
+{
+    ml::OfflineConfig cfg;
+    cfg.size_bytes = 16 * 4 * 64;
+    cfg.ways = 4;
+    return cfg;
+}
+
+} // namespace rlr::test
+
+#endif // RLR_TESTS_POLICY_TEST_UTIL_HH

@@ -1,0 +1,84 @@
+/** @file Unit tests for util/bits.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+
+using namespace rlr::util;
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 63) + 1));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1ULL << 40), 40u);
+    EXPECT_EQ(floorLog2((1ULL << 40) + 17), 40u);
+}
+
+TEST(Bits, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+}
+
+TEST(Bits, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0ULL);
+    EXPECT_EQ(mask(1), 1ULL);
+    EXPECT_EQ(mask(6), 63ULL);
+    EXPECT_EQ(mask(64), ~0ULL);
+    EXPECT_EQ(mask(65), ~0ULL);
+}
+
+TEST(Bits, ExtractInsertRoundTrip)
+{
+    const uint64_t v = 0xdeadbeefcafef00dULL;
+    for (unsigned first = 0; first < 60; first += 7) {
+        const unsigned last = first + 3;
+        const uint64_t field = bits(v, last, first);
+        EXPECT_LE(field, mask(4));
+        const uint64_t rebuilt =
+            insertBits(v, last, first, field);
+        EXPECT_EQ(rebuilt, v);
+    }
+}
+
+TEST(Bits, InsertOverwrites)
+{
+    const uint64_t v = insertBits(0, 11, 8, 0xf);
+    EXPECT_EQ(v, 0xf00ULL);
+    EXPECT_EQ(bits(v, 11, 8), 0xfULL);
+    EXPECT_EQ(bits(v, 7, 0), 0ULL);
+}
+
+TEST(Bits, FoldXorWidth)
+{
+    // Folding never exceeds the requested width.
+    for (unsigned w = 1; w <= 20; ++w) {
+        EXPECT_LE(foldXor(0x123456789abcdef0ULL, w), mask(w))
+            << "width " << w;
+    }
+    // Folding a value narrower than the width is the identity.
+    EXPECT_EQ(foldXor(0x3f, 8), 0x3fULL);
+}
+
+TEST(Bits, AlignDown)
+{
+    EXPECT_EQ(alignDown(127, 64), 64ULL);
+    EXPECT_EQ(alignDown(128, 64), 128ULL);
+    EXPECT_EQ(alignDown(0, 64), 0ULL);
+}

@@ -1,0 +1,319 @@
+/** @file Tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "policies/lru.hh"
+
+using namespace rlr;
+using namespace rlr::cache;
+
+namespace
+{
+
+/** Fixed-latency backing memory that records requests. */
+class FakeMemory : public MemoryLevel
+{
+  public:
+    explicit FakeMemory(uint64_t latency = 100)
+        : latency_(latency), name_("fake")
+    {
+    }
+
+    uint64_t
+    access(const MemRequest &req, uint64_t now) override
+    {
+        requests.push_back(req);
+        if (req.type == trace::AccessType::Writeback)
+            return now;
+        return now + latency_;
+    }
+
+    const std::string &name() const override { return name_; }
+
+    std::vector<MemRequest> requests;
+
+  private:
+    uint64_t latency_;
+    std::string name_;
+};
+
+/** Policy stub that bypasses everything. */
+class BypassPolicy : public ReplacementPolicy
+{
+  public:
+    void bind(const CacheGeometry &) override {}
+    uint32_t
+    findVictim(const AccessContext &,
+               std::span<const BlockView>) override
+    {
+        return kBypass;
+    }
+    void onAccess(const AccessContext &) override {}
+    std::string name() const override { return "bypass"; }
+    StorageOverhead overhead() const override { return {}; }
+};
+
+CacheGeometry
+smallGeometry()
+{
+    CacheGeometry g;
+    g.name = "L";
+    g.size_bytes = 4 * 1024; // 4 sets x 16 ways... 64 lines
+    g.ways = 4;
+    g.latency = 10;
+    g.mshrs = 4;
+    return g;
+}
+
+MemRequest
+load(uint64_t addr, uint64_t pc = 0x400)
+{
+    MemRequest r;
+    r.address = addr;
+    r.pc = pc;
+    r.type = trace::AccessType::Load;
+    return r;
+}
+
+} // namespace
+
+TEST(Cache, HitAfterFill)
+{
+    FakeMemory mem;
+    Cache c(smallGeometry(), std::make_unique<policies::LruPolicy>(),
+            &mem);
+    const uint64_t t1 = c.access(load(0x1000), 0);
+    EXPECT_EQ(t1, 110u); // 10 lookup + 100 memory
+    EXPECT_EQ(c.statSet().value("LD_miss"), 1u);
+
+    const uint64_t t2 = c.access(load(0x1000), 200);
+    EXPECT_EQ(t2, 210u); // hit: lookup latency only
+    EXPECT_EQ(c.statSet().value("LD_hit"), 1u);
+    EXPECT_TRUE(c.probe(0x1000));
+}
+
+TEST(Cache, SameLineDifferentOffsetHits)
+{
+    FakeMemory mem;
+    Cache c(smallGeometry(), std::make_unique<policies::LruPolicy>(),
+            &mem);
+    c.access(load(0x1000), 0);
+    c.access(load(0x103f), 1000);
+    EXPECT_EQ(c.statSet().value("LD_hit"), 1u);
+}
+
+TEST(Cache, MshrMergeWhileInFlight)
+{
+    FakeMemory mem;
+    Cache c(smallGeometry(), std::make_unique<policies::LruPolicy>(),
+            &mem);
+    const uint64_t ready = c.access(load(0x2000), 0);
+    // Second access before the fill returns merges and completes
+    // with the original miss, not sooner.
+    const uint64_t t2 = c.access(load(0x2000), 20);
+    EXPECT_EQ(t2, ready);
+    EXPECT_EQ(c.statSet().value("mshr_merges"), 1u);
+    EXPECT_EQ(c.statSet().value("LD_miss"), 2u);
+    // Only one request reached memory.
+    EXPECT_EQ(mem.requests.size(), 1u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    FakeMemory mem;
+    CacheGeometry g = smallGeometry(); // 16 sets, 4 ways
+    Cache c(g, std::make_unique<policies::LruPolicy>(), &mem);
+    // Fill one set (stride = sets * line = 16 * 64 = 1024).
+    const uint64_t stride = g.numSets() * kLineBytes;
+    for (uint64_t i = 0; i < 4; ++i)
+        c.access(load(0x10000 + i * stride), i * 1000);
+    // Touch line 0 so line 1 becomes LRU.
+    c.access(load(0x10000), 10000);
+    // New fill must evict line 1.
+    c.access(load(0x10000 + 4 * stride), 20000);
+    EXPECT_TRUE(c.probe(0x10000));
+    EXPECT_FALSE(c.probe(0x10000 + 1 * stride));
+    EXPECT_TRUE(c.probe(0x10000 + 2 * stride));
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    FakeMemory mem;
+    CacheGeometry g = smallGeometry();
+    Cache c(g, std::make_unique<policies::LruPolicy>(), &mem);
+    c.setWritesOnRfo(true);
+    const uint64_t stride = g.numSets() * kLineBytes;
+
+    MemRequest rfo = load(0x10000);
+    rfo.type = trace::AccessType::Rfo;
+    c.access(rfo, 0);
+
+    // Evict it by filling the set with 4 more lines.
+    for (uint64_t i = 1; i <= 4; ++i)
+        c.access(load(0x10000 + i * stride), i * 1000);
+
+    bool saw_wb = false;
+    for (const auto &req : mem.requests) {
+        if (req.type == trace::AccessType::Writeback &&
+            CacheGeometry::lineAddress(req.address) == 0x10000)
+            saw_wb = true;
+    }
+    EXPECT_TRUE(saw_wb);
+    EXPECT_EQ(c.statSet().value("writebacks_issued"), 1u);
+}
+
+TEST(Cache, WritebackMissAllocatesWithoutFetch)
+{
+    FakeMemory mem;
+    Cache c(smallGeometry(), std::make_unique<policies::LruPolicy>(),
+            &mem);
+    MemRequest wb;
+    wb.address = 0x3000;
+    wb.type = trace::AccessType::Writeback;
+    const uint64_t t = c.access(wb, 0);
+    EXPECT_EQ(t, 10u); // no memory round trip
+    EXPECT_TRUE(c.probe(0x3000));
+    EXPECT_TRUE(mem.requests.empty());
+    // The allocated line must be dirty.
+    const auto views = c.setContents(c.geometry().setIndex(0x3000));
+    bool found_dirty = false;
+    for (const auto &v : views)
+        if (v.valid && v.address == 0x3000 && v.dirty)
+            found_dirty = true;
+    EXPECT_TRUE(found_dirty);
+}
+
+TEST(Cache, BypassPolicySkipsFill)
+{
+    FakeMemory mem;
+    CacheGeometry g = smallGeometry();
+    Cache c(g, std::make_unique<BypassPolicy>(), &mem);
+    const uint64_t stride = g.numSets() * kLineBytes;
+    // Fill the set's invalid ways first (bypass only applies when
+    // the set is full).
+    for (uint64_t i = 0; i < 4; ++i)
+        c.access(load(0x10000 + i * stride), i * 1000);
+    c.access(load(0x10000 + 4 * stride), 10000);
+    EXPECT_EQ(c.statSet().value("bypasses"), 1u);
+    EXPECT_FALSE(c.probe(0x10000 + 4 * stride));
+    // Resident lines undisturbed.
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(c.probe(0x10000 + i * stride));
+}
+
+TEST(Cache, PrefetchFlagClearedOnDemandHit)
+{
+    FakeMemory mem;
+    Cache c(smallGeometry(), std::make_unique<policies::LruPolicy>(),
+            &mem);
+    MemRequest pf = load(0x4000);
+    pf.type = trace::AccessType::Prefetch;
+    c.access(pf, 0);
+    auto views = c.setContents(c.geometry().setIndex(0x4000));
+    bool pf_flag = false;
+    for (const auto &v : views)
+        if (v.valid && v.address == 0x4000)
+            pf_flag = v.prefetch;
+    EXPECT_TRUE(pf_flag);
+
+    c.access(load(0x4000), 1000);
+    views = c.setContents(c.geometry().setIndex(0x4000));
+    for (const auto &v : views)
+        if (v.valid && v.address == 0x4000)
+            pf_flag = v.prefetch;
+    EXPECT_FALSE(pf_flag);
+}
+
+TEST(Cache, AccessSinkCapturesEverything)
+{
+    FakeMemory mem;
+    Cache c(smallGeometry(), std::make_unique<policies::LruPolicy>(),
+            &mem);
+    std::vector<trace::LlcAccess> captured;
+    c.setAccessSink([&](const trace::LlcAccess &a) {
+        captured.push_back(a);
+    });
+    c.access(load(0x1000, 0xabc), 0);
+    c.access(load(0x1000, 0xdef), 100);
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].pc, 0xabcu);
+    EXPECT_EQ(captured[1].pc, 0xdefu);
+    EXPECT_EQ(captured[0].address, 0x1000u);
+}
+
+TEST(Cache, DemandCountersAggregate)
+{
+    FakeMemory mem;
+    Cache c(smallGeometry(), std::make_unique<policies::LruPolicy>(),
+            &mem);
+    c.access(load(0x1000), 0);
+    MemRequest rfo = load(0x2000);
+    rfo.type = trace::AccessType::Rfo;
+    c.access(rfo, 1000);
+    MemRequest pf = load(0x5000);
+    pf.type = trace::AccessType::Prefetch;
+    c.access(pf, 2000);
+    EXPECT_EQ(c.demandAccesses(), 2u);
+    EXPECT_EQ(c.demandMisses(), 2u);
+    EXPECT_EQ(c.demandHits(), 0u);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    FakeMemory mem;
+    Cache c(smallGeometry(), std::make_unique<policies::LruPolicy>(),
+            &mem);
+    c.access(load(0x1000), 0);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x1000));
+    EXPECT_EQ(c.statSet().value("LD_access"), 0u);
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    FakeMemory mem;
+    Cache c(smallGeometry(), std::make_unique<policies::LruPolicy>(),
+            &mem);
+    c.access(load(0x1000), 0);
+    c.resetStats();
+    EXPECT_TRUE(c.probe(0x1000));
+    EXPECT_EQ(c.statSet().value("LD_access"), 0u);
+    c.access(load(0x1000), 1000);
+    EXPECT_EQ(c.statSet().value("LD_hit"), 1u);
+}
+
+TEST(Cache, MshrPressureDelaysMisses)
+{
+    FakeMemory mem(1000);
+    CacheGeometry g = smallGeometry();
+    g.mshrs = 2;
+    Cache c(g, std::make_unique<policies::LruPolicy>(), &mem);
+    // Issue 3 concurrent misses to distinct lines at t=0; the
+    // third must wait for an MSHR.
+    c.access(load(0x10000), 0);
+    c.access(load(0x20000), 0);
+    const uint64_t t3 = c.access(load(0x30000), 0);
+    EXPECT_GT(t3, 1010u);
+    EXPECT_GE(c.statSet().value("mshr_stalls"), 1u);
+}
+
+TEST(CacheGeometryTest, Derived)
+{
+    CacheGeometry g;
+    g.size_bytes = 2 * 1024 * 1024;
+    g.ways = 16;
+    EXPECT_EQ(g.numSets(), 2048u);
+    EXPECT_EQ(g.numLines(), 32768u);
+    EXPECT_EQ(g.setBits(), 11u);
+    // Index/tag consistency.
+    const uint64_t addr = 0x123456789aULL;
+    const uint32_t set = g.setIndex(addr);
+    const uint64_t tag = g.tag(addr);
+    EXPECT_LT(set, g.numSets());
+    // Reconstruct the line address.
+    const uint64_t line =
+        (tag << (kLineBits + g.setBits())) |
+        (static_cast<uint64_t>(set) << kLineBits);
+    EXPECT_EQ(line, CacheGeometry::lineAddress(addr));
+}

@@ -1,0 +1,295 @@
+/** @file Tests for feature extraction and the offline simulator. */
+
+#include <gtest/gtest.h>
+
+#include "ml/analysis.hh"
+#include "ml/features.hh"
+#include "ml/offline.hh"
+#include "policies/lru.hh"
+#include "tests/policy_test_util.hh"
+#include "util/rng.hh"
+
+using namespace rlr;
+using namespace rlr::ml;
+
+TEST(Features, StateSizeMatchesPaper)
+{
+    // 16-way LLC -> 334 floats (Table II).
+    FeatureExtractor fx(16, 2048);
+    EXPECT_EQ(fx.stateSize(), 334u);
+    // 4-way -> 14 + 4*20 = 94.
+    FeatureExtractor fx4(4, 16);
+    EXPECT_EQ(fx4.stateSize(), 94u);
+}
+
+TEST(Features, GroupIndicesPartitionTheState)
+{
+    FeatureExtractor fx(16, 2048);
+    std::vector<int> cover(fx.stateSize(), 0);
+    for (size_t g = 0; g < kNumFeatureGroups; ++g) {
+        for (const auto i :
+             fx.groupIndices(static_cast<FeatureGroup>(g))) {
+            ASSERT_LT(i, cover.size());
+            ++cover[i];
+        }
+    }
+    for (size_t i = 0; i < cover.size(); ++i)
+        EXPECT_EQ(cover[i], 1) << "index " << i;
+}
+
+TEST(Features, ExtractionValues)
+{
+    FeatureExtractor fx(4, 16);
+    AccessFeatures af;
+    af.address = 0x1027; // offset bits 0b100111
+    af.preuse = 128;
+    af.type = trace::AccessType::Rfo;
+    af.set = 8;
+    SetFeatures sf;
+    sf.accesses = 1024;
+    sf.accesses_since_miss = 0;
+    std::vector<LineFeatures> lines(4);
+    lines[1].valid = true;
+    lines[1].address = 0x40; // line offset bits -> bit6 set
+    lines[1].dirty = true;
+    lines[1].hits = 300; // saturates at the 256 cap
+    lines[1].recency = 3;
+    lines[1].last_type = trace::AccessType::Prefetch;
+
+    const auto state = fx.extract(af, sf, lines);
+    // Access offset bits: 0x27 = 0b100111.
+    EXPECT_FLOAT_EQ(state[0], 1.0f);
+    EXPECT_FLOAT_EQ(state[1], 1.0f);
+    EXPECT_FLOAT_EQ(state[2], 1.0f);
+    EXPECT_FLOAT_EQ(state[3], 0.0f);
+    EXPECT_FLOAT_EQ(state[5], 1.0f);
+    // Access preuse normalized to 0.5 (cap 256).
+    EXPECT_FLOAT_EQ(state[6], 0.5f);
+    // RFO one-hot.
+    EXPECT_FLOAT_EQ(state[7 + 1], 1.0f);
+    EXPECT_FLOAT_EQ(state[7 + 0], 0.0f);
+    // Set number 8/16.
+    EXPECT_FLOAT_EQ(state[11], 0.5f);
+    // Way 1 block at base 14 + 20.
+    const size_t base = 14 + 20;
+    EXPECT_FLOAT_EQ(state[base + 0], 1.0f); // addr bit 6
+    EXPECT_FLOAT_EQ(state[base + 6], 1.0f); // dirty
+    EXPECT_FLOAT_EQ(state[base + 10 + 2], 1.0f); // PF one-hot
+    EXPECT_FLOAT_EQ(state[base + 18], 1.0f); // hits saturated
+    EXPECT_FLOAT_EQ(state[base + 19], 1.0f); // recency 3/3
+    // Invalid ways contribute zeros.
+    for (size_t i = 14; i < 14 + 20; ++i)
+        EXPECT_FLOAT_EQ(state[i], 0.0f);
+}
+
+TEST(Features, MaskZeroesDisabledGroups)
+{
+    FeatureExtractor fx(4, 16);
+    fx.setMask({FeatureGroup::LineRecency});
+    EXPECT_TRUE(fx.enabled(FeatureGroup::LineRecency));
+    EXPECT_FALSE(fx.enabled(FeatureGroup::AccessPreuse));
+
+    AccessFeatures af;
+    af.preuse = 1024;
+    SetFeatures sf;
+    std::vector<LineFeatures> lines(4);
+    lines[0].valid = true;
+    lines[0].recency = 3;
+    const auto state = fx.extract(af, sf, lines);
+    EXPECT_FLOAT_EQ(state[6], 0.0f); // masked access preuse
+    EXPECT_FLOAT_EQ(state[14 + 19], 1.0f); // recency alive
+
+    fx.clearMask();
+    EXPECT_TRUE(fx.enabled(FeatureGroup::AccessPreuse));
+}
+
+TEST(Offline, HitMissAccountingHandComputed)
+{
+    // 4-way cache, 16 sets; lines 0..4 map to distinct sets, so
+    // everything after the compulsory misses hits.
+    const auto trace =
+        test::loadTrace({0, 1, 2, 3, 0, 1, 2, 3});
+    OfflineSimulator sim(test::smallOffline(), &trace);
+    policies::LruPolicy lru;
+    const auto s = sim.runPolicy(lru);
+    EXPECT_EQ(s.accesses, 8u);
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_EQ(s.hits, 4u);
+    EXPECT_EQ(s.compulsory_misses, 4u);
+    EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(Offline, DemandVsNonDemandSplit)
+{
+    const auto trace = test::makeTrace({
+        {0x0, trace::AccessType::Load},
+        {0x0, trace::AccessType::Prefetch},
+        {0x0, trace::AccessType::Writeback},
+        {0x0, trace::AccessType::Rfo},
+    });
+    OfflineSimulator sim(test::smallOffline(), &trace);
+    policies::LruPolicy lru;
+    const auto s = sim.runPolicy(lru);
+    EXPECT_EQ(s.demand_accesses, 2u);
+    EXPECT_EQ(s.demand_hits, 1u); // the RFO hits
+    EXPECT_EQ(s.hits, 3u);
+}
+
+TEST(Offline, VictimStatsPopulated)
+{
+    // Overflow one set so evictions happen.
+    std::vector<uint64_t> lines;
+    for (int rep = 0; rep < 10; ++rep)
+        for (uint64_t l = 0; l < 8; ++l)
+            lines.push_back(l * 16); // same set
+    const auto trace = test::loadTrace(lines);
+    OfflineSimulator sim(test::smallOffline(), &trace);
+    policies::LruPolicy lru;
+    const auto s = sim.runPolicy(lru);
+    EXPECT_GT(s.evictions, 0u);
+    const auto &fs = sim.featureStats();
+    uint64_t victims = 0;
+    for (const auto c : fs.victim_count)
+        victims += c;
+    EXPECT_EQ(victims, s.evictions);
+    // LRU victims on a cyclic overflow pattern never get hits.
+    EXPECT_EQ(fs.victims_zero_hits, s.evictions);
+}
+
+TEST(Offline, PreuseReuseBucketsOnRegularPattern)
+{
+    // Perfectly periodic reuse: consecutive intervals identical,
+    // so every measured diff is < 10.
+    std::vector<uint64_t> lines;
+    for (int rep = 0; rep < 50; ++rep)
+        for (uint64_t l = 0; l < 4; ++l)
+            lines.push_back(l * 16);
+    const auto trace = test::loadTrace(lines);
+    OfflineSimulator sim(test::smallOffline(), &trace);
+    policies::LruPolicy lru;
+    sim.runPolicy(lru);
+    const auto &fs = sim.featureStats();
+    EXPECT_GT(fs.preuse_reuse_lt10, 0u);
+    EXPECT_EQ(fs.preuse_reuse_10to50, 0u);
+    EXPECT_EQ(fs.preuse_reuse_gt50, 0u);
+}
+
+TEST(Offline, AgentRunsAndTrains)
+{
+    util::Rng rng(17);
+    std::vector<uint64_t> lines;
+    for (int i = 0; i < 1500; ++i)
+        lines.push_back(rng.nextBounded(128));
+    const auto trace = test::loadTrace(lines);
+    OfflineSimulator sim(test::smallOffline(), &trace);
+
+    AgentConfig cfg;
+    cfg.seed = 5;
+    const auto result = trainAgent(sim, cfg, 1);
+    EXPECT_EQ(result.epoch_hit_rates.size(), 1u);
+    EXPECT_GT(result.agent->decisions(), 0u);
+    EXPECT_GT(result.eval.accesses, 0u);
+}
+
+TEST(Offline, AgentBetweenRandomAndBelady)
+{
+    // On a skewed trace, the trained agent should at least beat a
+    // random policy and never beat Belady.
+    util::Rng rng(23);
+    util::ZipfSampler zipf(256, 1.1);
+    std::vector<uint64_t> lines;
+    for (int i = 0; i < 4000; ++i)
+        lines.push_back(zipf.sample(rng));
+    const auto trace = test::loadTrace(lines);
+    OfflineSimulator sim(test::smallOffline(), &trace);
+
+    policies::BeladyPolicy belady(sim.oracle());
+    const auto opt = sim.runPolicy(belady);
+
+    AgentConfig cfg;
+    cfg.seed = 29;
+    const auto tr = trainAgent(sim, cfg, 2);
+    EXPECT_LE(tr.eval.hits, opt.hits);
+}
+
+TEST(Offline, WarmPassRemovesColdMisses)
+{
+    // One pass over a cache-resident set: cold run pays the
+    // compulsory misses, warm run hits everything.
+    const auto trace = test::loadTrace({0, 1, 2, 3});
+    OfflineSimulator sim(test::smallOffline(), &trace);
+    policies::LruPolicy lru;
+    const auto cold = sim.runPolicy(lru, /*warm_pass=*/false);
+    EXPECT_EQ(cold.hits, 0u);
+    const auto warm = sim.runPolicy(lru, /*warm_pass=*/true);
+    EXPECT_EQ(warm.hits, 4u);
+    EXPECT_EQ(warm.accesses, 4u);
+}
+
+TEST(Mlp2, SaliencyDeltaZeroAtInit)
+{
+    MlpConfig cfg;
+    cfg.inputs = 6;
+    cfg.hidden = 4;
+    cfg.outputs = 2;
+    Mlp mlp(cfg, 3);
+    for (const auto v : mlp.inputSaliencyDelta())
+        EXPECT_DOUBLE_EQ(v, 0.0);
+    // One training step on a nonzero input produces a nonzero
+    // delta for that input only.
+    std::vector<float> x(6, 0.0f);
+    x[4] = 1.0f;
+    mlp.trainAction(x, 0, 1.0f);
+    const auto d = mlp.inputSaliencyDelta();
+    EXPECT_GT(d[4], 0.0);
+    EXPECT_DOUBLE_EQ(d[0], 0.0);
+}
+
+TEST(Analysis, GroupSaliencyShape)
+{
+    const auto trace = test::loadTrace({0, 1, 2, 3});
+    OfflineSimulator sim(test::smallOffline(), &trace);
+    AgentConfig cfg;
+    cfg.mlp.inputs = sim.extractor().stateSize();
+    cfg.mlp.outputs = sim.ways();
+    DqnAgent agent(cfg);
+    const auto sal =
+        groupSaliency(agent.network(), sim.extractor());
+    EXPECT_EQ(sal.size(), kNumFeatureGroups);
+    for (const auto v : sal)
+        EXPECT_GE(v, 0.0);
+}
+
+TEST(Analysis, HeatMapRenders)
+{
+    std::vector<std::vector<double>> cols = {
+        std::vector<double>(kNumFeatureGroups, 1.0),
+        std::vector<double>(kNumFeatureGroups, 0.0),
+    };
+    const auto out = renderHeatMap({"a", "b"}, cols);
+    EXPECT_NE(out.find("line preuse"), std::string::npos);
+    EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(Analysis, HillClimbSelectsSomething)
+{
+    // A recency-friendly trace: hill climbing over two candidate
+    // groups must pick at least one and report a hit rate.
+    util::Rng rng(31);
+    std::vector<uint64_t> lines;
+    for (int i = 0; i < 800; ++i)
+        lines.push_back(rng.nextBounded(96));
+    const auto trace = test::loadTrace(lines);
+    OfflineSimulator sim(test::smallOffline(), &trace);
+
+    AgentConfig cfg;
+    cfg.seed = 41;
+    const auto result = hillClimb(
+        sim, cfg,
+        {FeatureGroup::LineRecency, FeatureGroup::LineHits}, 1, 2);
+    EXPECT_LE(result.selected.size(), 2u);
+    EXPECT_EQ(result.selected.size(), result.hit_rates.size());
+    // The mask is restored afterwards.
+    EXPECT_TRUE(sim.extractor().enabled(
+        FeatureGroup::AccessPreuse));
+}

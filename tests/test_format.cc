@@ -1,0 +1,79 @@
+/** @file Unit tests for util/format.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/format.hh"
+
+using rlr::util::format;
+
+TEST(Format, PlainText)
+{
+    EXPECT_EQ(format("hello"), "hello");
+    EXPECT_EQ(format(""), "");
+}
+
+TEST(Format, BasicSubstitution)
+{
+    EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(format("{}", std::string("abc")), "abc");
+    EXPECT_EQ(format("{}", true), "true");
+    EXPECT_EQ(format("{}", 'x'), "x");
+}
+
+TEST(Format, Negative)
+{
+    EXPECT_EQ(format("{}", -42), "-42");
+    EXPECT_EQ(format("{}", int64_t{-1}), "-1");
+}
+
+TEST(Format, Unsigned64)
+{
+    EXPECT_EQ(format("{}", ~0ULL), "18446744073709551615");
+}
+
+TEST(Format, FloatPrecision)
+{
+    EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+    EXPECT_EQ(format("{:.0f}", 2.6), "3");
+    EXPECT_EQ(format("{}", 1.5), "1.500000");
+}
+
+TEST(Format, WidthAlignment)
+{
+    EXPECT_EQ(format("{:>6}", 42), "    42");
+    EXPECT_EQ(format("{:<6}|", 42), "42    |");
+    EXPECT_EQ(format("{:>6}", "ab"), "    ab");
+    EXPECT_EQ(format("{:<6}|", "ab"), "ab    |");
+    // Defaults: numbers right, text left.
+    EXPECT_EQ(format("{:4}|", 7), "   7|");
+    EXPECT_EQ(format("{:4}|", "x"), "x   |");
+}
+
+TEST(Format, DynamicWidthAndPrecision)
+{
+    // Value first, then width/precision — std::format order.
+    EXPECT_EQ(format("{:<{}}|", "ab", 5), "ab   |");
+    EXPECT_EQ(format("{:.{}f}", 3.14159, 3), "3.142");
+}
+
+TEST(Format, Hex)
+{
+    EXPECT_EQ(format("{:x}", 255), "ff");
+    EXPECT_EQ(format("{:x}", 0xdeadULL), "dead");
+}
+
+TEST(Format, BraceEscapes)
+{
+    EXPECT_EQ(format("{{}}"), "{}");
+    EXPECT_EQ(format("{{{}}}", 5), "{5}");
+}
+
+TEST(Format, MissingArguments)
+{
+    EXPECT_EQ(format("{} {}", 1), "1 <missing>");
+}
+
+TEST(Format, TooManyArgumentsIgnored)
+{
+    EXPECT_EQ(format("{}", 1, 2, 3), "1");
+}

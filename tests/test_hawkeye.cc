@@ -1,0 +1,86 @@
+/** @file Tests for the Hawkeye policy. */
+
+#include <gtest/gtest.h>
+
+#include "policies/hawkeye.hh"
+#include "tests/policy_test_util.hh"
+
+using namespace rlr;
+using namespace rlr::policies;
+
+TEST(Hawkeye, ColdPredictorIsFriendly)
+{
+    HawkeyePolicy p;
+    p.bind(test::tinyGeometry());
+    // Counters start at the friendly threshold.
+    EXPECT_TRUE(p.predictsFriendly(0x1234));
+}
+
+TEST(Hawkeye, LearnsAverseFromStreamingPc)
+{
+    // One PC streams through far more lines than the cache holds:
+    // OPTgen observes no attainable hits and detrains the PC.
+    HawkeyeConfig cfg;
+    cfg.sampled_sets = 16; // sample every set of the small cache
+    HawkeyePolicy p(cfg);
+
+    std::vector<uint64_t> lines;
+    for (uint64_t i = 0; i < 4000; ++i)
+        lines.push_back(i); // never reused
+    const auto trace = test::loadTrace(lines, 0xbeef);
+    ml::OfflineSimulator sim(test::smallOffline(), &trace);
+    sim.runPolicy(p);
+    EXPECT_FALSE(p.predictsFriendly(0xbeef));
+}
+
+TEST(Hawkeye, KeepsFriendlyPcFriendly)
+{
+    HawkeyeConfig cfg;
+    cfg.sampled_sets = 16;
+    HawkeyePolicy p(cfg);
+
+    // Tight reuse: 8 lines (2 sets' worth) looping many times.
+    std::vector<uint64_t> lines;
+    for (int rep = 0; rep < 400; ++rep)
+        for (uint64_t l = 0; l < 8; ++l)
+            lines.push_back(l);
+    const auto trace = test::loadTrace(lines, 0xf00d);
+    ml::OfflineSimulator sim(test::smallOffline(), &trace);
+    const auto stats = sim.runPolicy(p);
+    EXPECT_TRUE(p.predictsFriendly(0xf00d));
+    EXPECT_GT(stats.hitRate(), 0.9);
+}
+
+TEST(Hawkeye, MixedWorkloadProtectsFriendly)
+{
+    // Friendly PC loops over a small set; averse PC scans. After
+    // training, Hawkeye should hold the friendly lines.
+    HawkeyeConfig cfg;
+    cfg.sampled_sets = 16;
+    HawkeyePolicy p(cfg);
+
+    trace::LlcTrace t;
+    uint64_t scan = 1000;
+    for (int rep = 0; rep < 600; ++rep) {
+        for (uint64_t l = 0; l < 2; ++l)
+            t.append({0x400, l * 64, trace::AccessType::Load, 0});
+        t.append({0x900, (scan++) * 64,
+                  trace::AccessType::Load, 0});
+    }
+    ml::OfflineSimulator sim(test::smallOffline(), &t);
+    const auto stats = sim.runPolicy(p);
+    // 2 of 3 accesses per round are to hot lines.
+    EXPECT_GT(stats.hitRate(), 0.55);
+    EXPECT_FALSE(p.predictsFriendly(0x900));
+}
+
+TEST(Hawkeye, OverheadMatchesPaper)
+{
+    HawkeyePolicy p;
+    cache::CacheGeometry g;
+    g.size_bytes = 2 * 1024 * 1024;
+    g.ways = 16;
+    p.bind(g);
+    EXPECT_NEAR(p.overhead().totalKiB(g), 28.0, 0.5);
+    EXPECT_TRUE(p.usesPc());
+}

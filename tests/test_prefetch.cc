@@ -1,0 +1,170 @@
+/** @file Tests for the prefetchers. */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/ip_stride.hh"
+#include "prefetch/kpc_p.hh"
+#include "prefetch/next_line.hh"
+
+using namespace rlr;
+using namespace rlr::prefetch;
+
+namespace
+{
+
+cache::CacheGeometry
+geom()
+{
+    cache::CacheGeometry g;
+    g.size_bytes = 32 * 1024;
+    g.ways = 8;
+    return g;
+}
+
+} // namespace
+
+TEST(NextLine, FiresOnMiss)
+{
+    NextLinePrefetcher pf;
+    pf.bind(geom());
+    std::vector<cache::PrefetchRequest> out;
+    pf.observe(0x400, 0x1000, /*hit=*/false, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].address, 0x1040u);
+}
+
+TEST(NextLine, SilentOnHitWhenMissOnly)
+{
+    NextLinePrefetcher pf(/*on_miss_only=*/true);
+    pf.bind(geom());
+    std::vector<cache::PrefetchRequest> out;
+    pf.observe(0x400, 0x1000, /*hit=*/true, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(NextLine, AlwaysModeFiresOnHit)
+{
+    NextLinePrefetcher pf(/*on_miss_only=*/false);
+    pf.bind(geom());
+    std::vector<cache::PrefetchRequest> out;
+    pf.observe(0x400, 0x1000, /*hit=*/true, out);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(IpStride, DetectsStableStride)
+{
+    IpStrideConfig cfg;
+    cfg.degree = 2;
+    IpStridePrefetcher pf(cfg);
+    pf.bind(geom());
+    std::vector<cache::PrefetchRequest> out;
+    // Stride of 2 lines from one PC; confidence needs a few
+    // confirmations.
+    for (int i = 0; i < 8; ++i) {
+        out.clear();
+        pf.observe(0x400, 0x10000 + i * 128, false, out);
+    }
+    ASSERT_FALSE(out.empty());
+    // Next targets continue the stream beyond the cursor.
+    for (const auto &req : out) {
+        EXPECT_GT(req.address, 0x10000u + 7u * 128u);
+        EXPECT_EQ((req.address - 0x10000u) % 128u, 0u);
+    }
+}
+
+TEST(IpStride, NoPrefetchOnUnstableStride)
+{
+    IpStridePrefetcher pf;
+    pf.bind(geom());
+    std::vector<cache::PrefetchRequest> out;
+    const uint64_t addrs[] = {0x1000, 0x5000, 0x2000, 0x9000,
+                              0x3000, 0x8000, 0x100, 0x7000};
+    for (const auto a : addrs)
+        pf.observe(0x400, a, false, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(IpStride, NoRedundantReissueWithinWindow)
+{
+    IpStrideConfig cfg;
+    cfg.degree = 4;
+    IpStridePrefetcher pf(cfg);
+    pf.bind(geom());
+    std::vector<cache::PrefetchRequest> out;
+    std::set<uint64_t> issued;
+    for (int i = 0; i < 32; ++i) {
+        out.clear();
+        pf.observe(0x400, 0x40000 + i * 64, false, out);
+        for (const auto &req : out) {
+            EXPECT_TRUE(issued.insert(req.address).second)
+                << "re-issued " << std::hex << req.address;
+        }
+    }
+}
+
+TEST(IpStride, PerPcTracking)
+{
+    IpStridePrefetcher pf;
+    pf.bind(geom());
+    std::vector<cache::PrefetchRequest> out;
+    // Interleave two PCs with different strides; both must train.
+    for (int i = 0; i < 10; ++i) {
+        pf.observe(0x400, 0x100000 + i * 64, false, out);
+        pf.observe(0x900, 0x800000 + i * 192, false, out);
+    }
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(IpStride, IgnoresZeroPc)
+{
+    IpStridePrefetcher pf;
+    pf.bind(geom());
+    std::vector<cache::PrefetchRequest> out;
+    for (int i = 0; i < 10; ++i)
+        pf.observe(0, 0x1000 + i * 64, false, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(KpcP, StaysWithinPage)
+{
+    KpcPConfig cfg;
+    cfg.max_degree = 8;
+    KpcPPrefetcher pf(cfg);
+    pf.bind(geom());
+    std::vector<cache::PrefetchRequest> out;
+    for (int i = 0; i < 40; ++i) {
+        out.clear();
+        pf.observe(0x400, 0x7000000 + i * 64, false, out);
+    }
+    for (const auto &req : out) {
+        EXPECT_EQ(req.address >> 12, (0x7000000ull + 39 * 64) >> 12)
+            << "prefetch crossed the page";
+    }
+}
+
+TEST(KpcP, ConfidenceGrowsWithStability)
+{
+    KpcPPrefetcher pf;
+    pf.bind(geom());
+    std::vector<cache::PrefetchRequest> out;
+    double last_conf = 0.0;
+    for (int i = 0; i < 20; ++i) {
+        out.clear();
+        pf.observe(0x400, 0x3000000 + i * 64, false, out);
+        if (!out.empty())
+            last_conf = out.back().confidence;
+    }
+    EXPECT_GT(last_conf, 0.5);
+}
+
+TEST(KpcP, SuppressesLowConfidence)
+{
+    KpcPPrefetcher pf;
+    pf.bind(geom());
+    std::vector<cache::PrefetchRequest> out;
+    // Erratic deltas within a page.
+    const uint64_t offs[] = {0, 5, 2, 9, 1, 8, 3, 60, 11, 42};
+    for (const auto o : offs)
+        pf.observe(0x400, 0x5000000 + o * 64, false, out);
+    EXPECT_TRUE(out.empty());
+}

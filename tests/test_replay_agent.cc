@@ -1,0 +1,110 @@
+/** @file Tests for replay memory and the DQN agent. */
+
+#include <gtest/gtest.h>
+
+#include "ml/agent.hh"
+#include "ml/replay.hh"
+
+using namespace rlr::ml;
+using rlr::util::Rng;
+
+TEST(Replay, CapacityWraps)
+{
+    ReplayMemory mem(4);
+    for (uint32_t i = 0; i < 10; ++i)
+        mem.push(Transition{{}, i, 0.0f});
+    EXPECT_EQ(mem.size(), 4u);
+    // Only the newest 4 actions (6..9) remain.
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        const auto &t = mem.sample(rng);
+        EXPECT_GE(t.action, 6u);
+        EXPECT_LE(t.action, 9u);
+    }
+}
+
+TEST(Replay, SampleCoversEntries)
+{
+    ReplayMemory mem(8);
+    for (uint32_t i = 0; i < 8; ++i)
+        mem.push(Transition{{}, i, 0.0f});
+    Rng rng(2);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(mem.sample(rng).action);
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Agent, GreedyIsArgmax)
+{
+    AgentConfig cfg;
+    cfg.mlp.inputs = 4;
+    cfg.mlp.hidden = 4;
+    cfg.mlp.outputs = 4;
+    cfg.epsilon = 0.0;
+    DqnAgent agent(cfg);
+    const std::vector<float> state = {0.1f, 0.2f, 0.3f, 0.4f};
+    const auto q = agent.network().forward(state);
+    const auto best = static_cast<uint32_t>(
+        std::max_element(q.begin(), q.end()) - q.begin());
+    EXPECT_EQ(agent.actGreedy(state), best);
+    EXPECT_EQ(agent.act(state), best);
+}
+
+TEST(Agent, EpsilonExplores)
+{
+    AgentConfig cfg;
+    cfg.mlp.inputs = 2;
+    cfg.mlp.hidden = 4;
+    cfg.mlp.outputs = 8;
+    cfg.epsilon = 1.0; // always explore
+    DqnAgent agent(cfg);
+    const std::vector<float> state = {0.5f, 0.5f};
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 300; ++i)
+        seen.insert(agent.act(state));
+    EXPECT_GT(seen.size(), 4u);
+}
+
+TEST(Agent, LearnsContextualBandit)
+{
+    // Two states; the rewarded action differs per state. After
+    // training, the greedy policy picks the rewarded action.
+    AgentConfig cfg;
+    cfg.mlp.inputs = 2;
+    cfg.mlp.hidden = 16;
+    cfg.mlp.outputs = 2;
+    cfg.mlp.learning_rate = 2e-2f;
+    cfg.epsilon = 0.3;
+    cfg.train_interval = 1;
+    cfg.batch_size = 8;
+    cfg.seed = 3;
+    DqnAgent agent(cfg);
+
+    Rng rng(4);
+    for (int i = 0; i < 4000; ++i) {
+        const bool which = rng.chance(0.5);
+        const std::vector<float> state = {which ? 1.0f : 0.0f,
+                                          which ? 0.0f : 1.0f};
+        const uint32_t a = agent.act(state);
+        const uint32_t best = which ? 0u : 1u;
+        const float reward = a == best ? 1.0f : -1.0f;
+        agent.observe(Transition{state, a, reward});
+    }
+    EXPECT_EQ(agent.actGreedy({1.0f, 0.0f}), 0u);
+    EXPECT_EQ(agent.actGreedy({0.0f, 1.0f}), 1u);
+    EXPECT_GT(agent.decisions(), 0u);
+}
+
+TEST(Agent, EpsilonSetterRestores)
+{
+    AgentConfig cfg;
+    cfg.mlp.inputs = 2;
+    cfg.mlp.hidden = 2;
+    cfg.mlp.outputs = 2;
+    DqnAgent agent(cfg);
+    agent.setEpsilon(0.0);
+    EXPECT_DOUBLE_EQ(agent.epsilon(), 0.0);
+    agent.setEpsilon(0.1);
+    EXPECT_DOUBLE_EQ(agent.epsilon(), 0.1);
+}

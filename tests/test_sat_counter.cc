@@ -1,0 +1,100 @@
+/** @file Unit and property tests for util/sat_counter.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/sat_counter.hh"
+
+using namespace rlr::util;
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2);
+    for (int i = 0; i < 10; ++i)
+        ++c;
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(3, 2);
+    for (int i = 0; i < 10; ++i)
+        --c;
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, InitialClamped)
+{
+    SatCounter c(2, 100);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounter, AddSaturates)
+{
+    SatCounter c(4);
+    c.add(7);
+    EXPECT_EQ(c.value(), 7u);
+    c.add(100);
+    EXPECT_EQ(c.value(), 15u);
+}
+
+TEST(SatCounter, Fraction)
+{
+    SatCounter c(2, 3);
+    EXPECT_DOUBLE_EQ(c.fraction(), 1.0);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.fraction(), 0.0);
+}
+
+/** Property: value always within [0, 2^n - 1] under random ops. */
+class SatCounterWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidthTest, NeverLeavesRange)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits);
+    uint64_t x = 88172645463325252ULL;
+    for (int i = 0; i < 1000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if (x & 1)
+            ++c;
+        else
+            --c;
+        EXPECT_LE(c.value(), c.maxValue());
+    }
+    EXPECT_EQ(c.maxValue(), (1ULL << bits) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidthTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u));
+
+TEST(SignedSatCounter, Range)
+{
+    SignedSatCounter c(3);
+    for (int i = 0; i < 20; ++i)
+        ++c;
+    EXPECT_EQ(c.value(), 3);
+    for (int i = 0; i < 20; ++i)
+        --c;
+    EXPECT_EQ(c.value(), -4);
+}
+
+TEST(SignedSatCounter, InitialClamped)
+{
+    SignedSatCounter hi(4, 100);
+    EXPECT_EQ(hi.value(), 7);
+    SignedSatCounter lo(4, -100);
+    EXPECT_EQ(lo.value(), -8);
+}
+
+TEST(SignedSatCounter, TakenThreshold)
+{
+    SignedSatCounter c(4, -1);
+    EXPECT_FALSE(c.taken());
+    ++c;
+    EXPECT_TRUE(c.taken());
+}

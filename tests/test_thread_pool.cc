@@ -1,0 +1,64 @@
+/** @file Unit tests for util/thread_pool.hh. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/thread_pool.hh"
+
+using rlr::util::ThreadPool;
+
+TEST(ThreadPool, SubmitReturnsResult)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit([] { return 21 * 2; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllRun)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 200; ++i)
+        futs.push_back(pool.submit([&] { ++counter; }));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleDrains)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&] { ++counter; });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    std::vector<int> hits(1000, 0);
+    ThreadPool::parallelFor(hits.size(), 8,
+                            [&](size_t i) { hits[i] += 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+    for (const auto h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForSingleThreadFallback)
+{
+    std::vector<int> hits(10, 0);
+    ThreadPool::parallelFor(hits.size(), 1,
+                            [&](size_t i) { hits[i] += 1; });
+    for (const auto h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty)
+{
+    // Must not hang or crash.
+    ThreadPool::parallelFor(0, 4, [](size_t) { FAIL(); });
+}
