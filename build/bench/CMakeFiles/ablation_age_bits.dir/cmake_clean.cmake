@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_age_bits.dir/ablation_age_bits.cc.o"
+  "CMakeFiles/ablation_age_bits.dir/ablation_age_bits.cc.o.d"
+  "ablation_age_bits"
+  "ablation_age_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_age_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

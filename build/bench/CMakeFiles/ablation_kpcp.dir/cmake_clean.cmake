@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kpcp.dir/ablation_kpcp.cc.o"
+  "CMakeFiles/ablation_kpcp.dir/ablation_kpcp.cc.o.d"
+  "ablation_kpcp"
+  "ablation_kpcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kpcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mpki.dir/fig12_mpki.cc.o"
+  "CMakeFiles/fig12_mpki.dir/fig12_mpki.cc.o.d"
+  "fig12_mpki"
+  "fig12_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_hitrate.dir/fig1_hitrate.cc.o"
+  "CMakeFiles/fig1_hitrate.dir/fig1_hitrate.cc.o.d"
+  "fig1_hitrate"
+  "fig1_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

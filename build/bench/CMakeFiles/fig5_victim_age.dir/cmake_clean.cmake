@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_victim_age.dir/fig5_victim_age.cc.o"
+  "CMakeFiles/fig5_victim_age.dir/fig5_victim_age.cc.o.d"
+  "fig5_victim_age"
+  "fig5_victim_age.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_victim_age.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

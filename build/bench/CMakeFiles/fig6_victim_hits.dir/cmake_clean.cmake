@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_victim_hits.dir/fig6_victim_hits.cc.o"
+  "CMakeFiles/fig6_victim_hits.dir/fig6_victim_hits.cc.o.d"
+  "fig6_victim_hits"
+  "fig6_victim_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_victim_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

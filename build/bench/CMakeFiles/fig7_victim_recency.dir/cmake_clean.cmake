@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_victim_recency.dir/fig7_victim_recency.cc.o"
+  "CMakeFiles/fig7_victim_recency.dir/fig7_victim_recency.cc.o.d"
+  "fig7_victim_recency"
+  "fig7_victim_recency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_victim_recency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_victim_recency.
+# This may be replaced when dependencies are built.

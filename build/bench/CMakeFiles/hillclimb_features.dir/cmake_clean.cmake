@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hillclimb_features.dir/hillclimb_features.cc.o"
+  "CMakeFiles/hillclimb_features.dir/hillclimb_features.cc.o.d"
+  "hillclimb_features"
+  "hillclimb_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hillclimb_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

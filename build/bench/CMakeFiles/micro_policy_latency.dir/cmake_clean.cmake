@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_policy_latency.dir/micro_policy_latency.cc.o"
+  "CMakeFiles/micro_policy_latency.dir/micro_policy_latency.cc.o.d"
+  "micro_policy_latency"
+  "micro_policy_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_policy_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

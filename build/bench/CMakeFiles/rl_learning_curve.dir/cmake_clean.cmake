@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_learning_curve.dir/rl_learning_curve.cc.o"
+  "CMakeFiles/rl_learning_curve.dir/rl_learning_curve.cc.o.d"
+  "rl_learning_curve"
+  "rl_learning_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_learning_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

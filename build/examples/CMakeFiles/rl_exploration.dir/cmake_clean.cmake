@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_exploration.dir/rl_exploration.cpp.o"
+  "CMakeFiles/rl_exploration.dir/rl_exploration.cpp.o.d"
+  "rl_exploration"
+  "rl_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlr_cache.dir/cache.cc.o"
+  "CMakeFiles/rlr_cache.dir/cache.cc.o.d"
+  "librlr_cache.a"
+  "librlr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

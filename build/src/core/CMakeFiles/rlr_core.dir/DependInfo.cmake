@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/policy_factory.cc" "src/core/CMakeFiles/rlr_core.dir/policy_factory.cc.o" "gcc" "src/core/CMakeFiles/rlr_core.dir/policy_factory.cc.o.d"
+  "/root/repo/src/core/rlr.cc" "src/core/CMakeFiles/rlr_core.dir/rlr.cc.o" "gcc" "src/core/CMakeFiles/rlr_core.dir/rlr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rlr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rlr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/rlr_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rlr_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlr_core.dir/policy_factory.cc.o"
+  "CMakeFiles/rlr_core.dir/policy_factory.cc.o.d"
+  "CMakeFiles/rlr_core.dir/rlr.cc.o"
+  "CMakeFiles/rlr_core.dir/rlr.cc.o.d"
+  "librlr_core.a"
+  "librlr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

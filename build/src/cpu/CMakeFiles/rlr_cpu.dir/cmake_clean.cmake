@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlr_cpu.dir/branch_predictor.cc.o"
+  "CMakeFiles/rlr_cpu.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/rlr_cpu.dir/core.cc.o"
+  "CMakeFiles/rlr_cpu.dir/core.cc.o.d"
+  "librlr_cpu.a"
+  "librlr_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlr_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

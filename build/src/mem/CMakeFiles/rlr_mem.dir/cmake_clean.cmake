@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlr_mem.dir/dram.cc.o"
+  "CMakeFiles/rlr_mem.dir/dram.cc.o.d"
+  "librlr_mem.a"
+  "librlr_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlr_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

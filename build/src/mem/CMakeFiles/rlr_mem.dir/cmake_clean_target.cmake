@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librlr_mem.a"
+)

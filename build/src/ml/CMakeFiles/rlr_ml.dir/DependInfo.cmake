@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/agent.cc" "src/ml/CMakeFiles/rlr_ml.dir/agent.cc.o" "gcc" "src/ml/CMakeFiles/rlr_ml.dir/agent.cc.o.d"
+  "/root/repo/src/ml/analysis.cc" "src/ml/CMakeFiles/rlr_ml.dir/analysis.cc.o" "gcc" "src/ml/CMakeFiles/rlr_ml.dir/analysis.cc.o.d"
+  "/root/repo/src/ml/features.cc" "src/ml/CMakeFiles/rlr_ml.dir/features.cc.o" "gcc" "src/ml/CMakeFiles/rlr_ml.dir/features.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/rlr_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/rlr_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/rlr_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/rlr_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/offline.cc" "src/ml/CMakeFiles/rlr_ml.dir/offline.cc.o" "gcc" "src/ml/CMakeFiles/rlr_ml.dir/offline.cc.o.d"
+  "/root/repo/src/ml/replay.cc" "src/ml/CMakeFiles/rlr_ml.dir/replay.cc.o" "gcc" "src/ml/CMakeFiles/rlr_ml.dir/replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rlr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rlr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rlr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/rlr_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlr_ml.dir/agent.cc.o"
+  "CMakeFiles/rlr_ml.dir/agent.cc.o.d"
+  "CMakeFiles/rlr_ml.dir/analysis.cc.o"
+  "CMakeFiles/rlr_ml.dir/analysis.cc.o.d"
+  "CMakeFiles/rlr_ml.dir/features.cc.o"
+  "CMakeFiles/rlr_ml.dir/features.cc.o.d"
+  "CMakeFiles/rlr_ml.dir/matrix.cc.o"
+  "CMakeFiles/rlr_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/rlr_ml.dir/mlp.cc.o"
+  "CMakeFiles/rlr_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/rlr_ml.dir/offline.cc.o"
+  "CMakeFiles/rlr_ml.dir/offline.cc.o.d"
+  "CMakeFiles/rlr_ml.dir/replay.cc.o"
+  "CMakeFiles/rlr_ml.dir/replay.cc.o.d"
+  "librlr_ml.a"
+  "librlr_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlr_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

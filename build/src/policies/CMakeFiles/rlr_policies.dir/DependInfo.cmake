@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/belady.cc" "src/policies/CMakeFiles/rlr_policies.dir/belady.cc.o" "gcc" "src/policies/CMakeFiles/rlr_policies.dir/belady.cc.o.d"
+  "/root/repo/src/policies/eva.cc" "src/policies/CMakeFiles/rlr_policies.dir/eva.cc.o" "gcc" "src/policies/CMakeFiles/rlr_policies.dir/eva.cc.o.d"
+  "/root/repo/src/policies/glider.cc" "src/policies/CMakeFiles/rlr_policies.dir/glider.cc.o" "gcc" "src/policies/CMakeFiles/rlr_policies.dir/glider.cc.o.d"
+  "/root/repo/src/policies/hawkeye.cc" "src/policies/CMakeFiles/rlr_policies.dir/hawkeye.cc.o" "gcc" "src/policies/CMakeFiles/rlr_policies.dir/hawkeye.cc.o.d"
+  "/root/repo/src/policies/kpc_r.cc" "src/policies/CMakeFiles/rlr_policies.dir/kpc_r.cc.o" "gcc" "src/policies/CMakeFiles/rlr_policies.dir/kpc_r.cc.o.d"
+  "/root/repo/src/policies/lru.cc" "src/policies/CMakeFiles/rlr_policies.dir/lru.cc.o" "gcc" "src/policies/CMakeFiles/rlr_policies.dir/lru.cc.o.d"
+  "/root/repo/src/policies/mpppb.cc" "src/policies/CMakeFiles/rlr_policies.dir/mpppb.cc.o" "gcc" "src/policies/CMakeFiles/rlr_policies.dir/mpppb.cc.o.d"
+  "/root/repo/src/policies/pdp.cc" "src/policies/CMakeFiles/rlr_policies.dir/pdp.cc.o" "gcc" "src/policies/CMakeFiles/rlr_policies.dir/pdp.cc.o.d"
+  "/root/repo/src/policies/random.cc" "src/policies/CMakeFiles/rlr_policies.dir/random.cc.o" "gcc" "src/policies/CMakeFiles/rlr_policies.dir/random.cc.o.d"
+  "/root/repo/src/policies/rrip.cc" "src/policies/CMakeFiles/rlr_policies.dir/rrip.cc.o" "gcc" "src/policies/CMakeFiles/rlr_policies.dir/rrip.cc.o.d"
+  "/root/repo/src/policies/ship.cc" "src/policies/CMakeFiles/rlr_policies.dir/ship.cc.o" "gcc" "src/policies/CMakeFiles/rlr_policies.dir/ship.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rlr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rlr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rlr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

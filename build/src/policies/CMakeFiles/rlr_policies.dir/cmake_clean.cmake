@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlr_policies.dir/belady.cc.o"
+  "CMakeFiles/rlr_policies.dir/belady.cc.o.d"
+  "CMakeFiles/rlr_policies.dir/eva.cc.o"
+  "CMakeFiles/rlr_policies.dir/eva.cc.o.d"
+  "CMakeFiles/rlr_policies.dir/glider.cc.o"
+  "CMakeFiles/rlr_policies.dir/glider.cc.o.d"
+  "CMakeFiles/rlr_policies.dir/hawkeye.cc.o"
+  "CMakeFiles/rlr_policies.dir/hawkeye.cc.o.d"
+  "CMakeFiles/rlr_policies.dir/kpc_r.cc.o"
+  "CMakeFiles/rlr_policies.dir/kpc_r.cc.o.d"
+  "CMakeFiles/rlr_policies.dir/lru.cc.o"
+  "CMakeFiles/rlr_policies.dir/lru.cc.o.d"
+  "CMakeFiles/rlr_policies.dir/mpppb.cc.o"
+  "CMakeFiles/rlr_policies.dir/mpppb.cc.o.d"
+  "CMakeFiles/rlr_policies.dir/pdp.cc.o"
+  "CMakeFiles/rlr_policies.dir/pdp.cc.o.d"
+  "CMakeFiles/rlr_policies.dir/random.cc.o"
+  "CMakeFiles/rlr_policies.dir/random.cc.o.d"
+  "CMakeFiles/rlr_policies.dir/rrip.cc.o"
+  "CMakeFiles/rlr_policies.dir/rrip.cc.o.d"
+  "CMakeFiles/rlr_policies.dir/ship.cc.o"
+  "CMakeFiles/rlr_policies.dir/ship.cc.o.d"
+  "librlr_policies.a"
+  "librlr_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlr_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

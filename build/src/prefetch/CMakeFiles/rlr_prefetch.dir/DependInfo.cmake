@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/ip_stride.cc" "src/prefetch/CMakeFiles/rlr_prefetch.dir/ip_stride.cc.o" "gcc" "src/prefetch/CMakeFiles/rlr_prefetch.dir/ip_stride.cc.o.d"
+  "/root/repo/src/prefetch/kpc_p.cc" "src/prefetch/CMakeFiles/rlr_prefetch.dir/kpc_p.cc.o" "gcc" "src/prefetch/CMakeFiles/rlr_prefetch.dir/kpc_p.cc.o.d"
+  "/root/repo/src/prefetch/next_line.cc" "src/prefetch/CMakeFiles/rlr_prefetch.dir/next_line.cc.o" "gcc" "src/prefetch/CMakeFiles/rlr_prefetch.dir/next_line.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rlr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rlr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rlr_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlr_prefetch.dir/ip_stride.cc.o"
+  "CMakeFiles/rlr_prefetch.dir/ip_stride.cc.o.d"
+  "CMakeFiles/rlr_prefetch.dir/kpc_p.cc.o"
+  "CMakeFiles/rlr_prefetch.dir/kpc_p.cc.o.d"
+  "CMakeFiles/rlr_prefetch.dir/next_line.cc.o"
+  "CMakeFiles/rlr_prefetch.dir/next_line.cc.o.d"
+  "librlr_prefetch.a"
+  "librlr_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlr_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlr_sim.dir/experiment.cc.o"
+  "CMakeFiles/rlr_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/rlr_sim.dir/system.cc.o"
+  "CMakeFiles/rlr_sim.dir/system.cc.o.d"
+  "librlr_sim.a"
+  "librlr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

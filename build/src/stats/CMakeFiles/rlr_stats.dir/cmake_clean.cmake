@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlr_stats.dir/stats.cc.o"
+  "CMakeFiles/rlr_stats.dir/stats.cc.o.d"
+  "librlr_stats.a"
+  "librlr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

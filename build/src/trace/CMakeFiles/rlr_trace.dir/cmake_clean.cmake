@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlr_trace.dir/instr_io.cc.o"
+  "CMakeFiles/rlr_trace.dir/instr_io.cc.o.d"
+  "CMakeFiles/rlr_trace.dir/record.cc.o"
+  "CMakeFiles/rlr_trace.dir/record.cc.o.d"
+  "CMakeFiles/rlr_trace.dir/synthetic.cc.o"
+  "CMakeFiles/rlr_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/rlr_trace.dir/trace_io.cc.o"
+  "CMakeFiles/rlr_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/rlr_trace.dir/workloads.cc.o"
+  "CMakeFiles/rlr_trace.dir/workloads.cc.o.d"
+  "librlr_trace.a"
+  "librlr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlr_util.dir/args.cc.o"
+  "CMakeFiles/rlr_util.dir/args.cc.o.d"
+  "CMakeFiles/rlr_util.dir/format.cc.o"
+  "CMakeFiles/rlr_util.dir/format.cc.o.d"
+  "CMakeFiles/rlr_util.dir/histogram.cc.o"
+  "CMakeFiles/rlr_util.dir/histogram.cc.o.d"
+  "CMakeFiles/rlr_util.dir/logging.cc.o"
+  "CMakeFiles/rlr_util.dir/logging.cc.o.d"
+  "CMakeFiles/rlr_util.dir/rng.cc.o"
+  "CMakeFiles/rlr_util.dir/rng.cc.o.d"
+  "CMakeFiles/rlr_util.dir/table.cc.o"
+  "CMakeFiles/rlr_util.dir/table.cc.o.d"
+  "CMakeFiles/rlr_util.dir/thread_pool.cc.o"
+  "CMakeFiles/rlr_util.dir/thread_pool.cc.o.d"
+  "librlr_util.a"
+  "librlr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

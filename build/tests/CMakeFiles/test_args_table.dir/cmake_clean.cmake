@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_args_table.dir/test_args_table.cc.o"
+  "CMakeFiles/test_args_table.dir/test_args_table.cc.o.d"
+  "test_args_table"
+  "test_args_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_args_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_belady.dir/test_belady.cc.o"
+  "CMakeFiles/test_belady.dir/test_belady.cc.o.d"
+  "test_belady"
+  "test_belady.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_belady.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_features_offline.dir/test_features_offline.cc.o"
+  "CMakeFiles/test_features_offline.dir/test_features_offline.cc.o.d"
+  "test_features_offline"
+  "test_features_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_features_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

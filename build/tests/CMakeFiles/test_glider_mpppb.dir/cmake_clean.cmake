@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glider_mpppb.dir/test_glider_mpppb.cc.o"
+  "CMakeFiles/test_glider_mpppb.dir/test_glider_mpppb.cc.o.d"
+  "test_glider_mpppb"
+  "test_glider_mpppb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glider_mpppb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hawkeye.dir/test_hawkeye.cc.o"
+  "CMakeFiles/test_hawkeye.dir/test_hawkeye.cc.o.d"
+  "test_hawkeye"
+  "test_hawkeye.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hawkeye.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

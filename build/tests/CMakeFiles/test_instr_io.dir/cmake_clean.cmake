@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instr_io.dir/test_instr_io.cc.o"
+  "CMakeFiles/test_instr_io.dir/test_instr_io.cc.o.d"
+  "test_instr_io"
+  "test_instr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kpcr_eva_pdp.dir/test_kpcr_eva_pdp.cc.o"
+  "CMakeFiles/test_kpcr_eva_pdp.dir/test_kpcr_eva_pdp.cc.o.d"
+  "test_kpcr_eva_pdp"
+  "test_kpcr_eva_pdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kpcr_eva_pdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lru_random.dir/test_lru_random.cc.o"
+  "CMakeFiles/test_lru_random.dir/test_lru_random.cc.o.d"
+  "test_lru_random"
+  "test_lru_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lru_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_agent.dir/test_replay_agent.cc.o"
+  "CMakeFiles/test_replay_agent.dir/test_replay_agent.cc.o.d"
+  "test_replay_agent"
+  "test_replay_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

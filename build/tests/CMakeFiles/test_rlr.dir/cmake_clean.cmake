@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rlr.dir/test_rlr.cc.o"
+  "CMakeFiles/test_rlr.dir/test_rlr.cc.o.d"
+  "test_rlr"
+  "test_rlr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

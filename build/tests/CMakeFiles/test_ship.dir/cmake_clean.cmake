@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ship.dir/test_ship.cc.o"
+  "CMakeFiles/test_ship.dir/test_ship.cc.o.d"
+  "test_ship"
+  "test_ship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_synthetic.cc" "tests/CMakeFiles/test_synthetic.dir/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/test_synthetic.dir/test_synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rlr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rlr_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rlr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/rlr_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rlr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/rlr_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rlr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rlr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rlr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rlr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
