@@ -39,8 +39,7 @@ main(int argc, char **argv)
 
     std::vector<std::string> all = {"LRU"};
     all.insert(all.end(), policies.begin(), policies.end());
-    const auto cells =
-        sim::sweep(workloads, all, opt.params, opt.threads);
+    const auto cells = bench::runSweep(opt, workloads, all);
 
     util::Table table({"Configuration", "Bits/line",
                        "Speedup over LRU (%)"});
@@ -67,5 +66,5 @@ main(int argc, char **argv)
     std::puts("\nPaper: 5 bits suffice to cover the average "
               "preuse distance; the optimized 2-bit/8-miss "
               "design preserves most of the gain at 4 bits/line.");
-    return 0;
+    return bench::finish(opt);
 }

@@ -51,7 +51,7 @@ main(int argc, char **argv)
         sim::SimParams params = opt.params;
         params.l2_prefetcher = pf;
         const auto cells =
-            sim::sweep(workloads, all, params, opt.threads);
+            bench::runSweep(opt, params, workloads, all);
         table.addRow(
             {pf == sim::L2Prefetcher::IpStride ? "IP-stride"
                                                : "KPC-P",
@@ -68,5 +68,5 @@ main(int argc, char **argv)
     std::puts("\nPaper: with KPC-P, KPC-R 3.9% vs RLR 5.5% "
               "(SPEC2006) — RLR stays ahead by evicting non-"
               "reused prefetched lines sooner.");
-    return 0;
+    return bench::finish(opt);
 }

@@ -27,8 +27,7 @@ main(int argc, char **argv)
 
     std::vector<std::string> all = {"LRU"};
     all.insert(all.end(), policies.begin(), policies.end());
-    const auto cells =
-        sim::sweep(workloads, all, opt.params, opt.threads);
+    const auto cells = bench::runSweep(opt, workloads, all);
 
     std::vector<double> overall(policies.size(), 0.0);
     for (size_t p = 0; p < policies.size(); ++p) {
@@ -62,5 +61,5 @@ main(int argc, char **argv)
     std::puts("\nPaper: disabling the hit register cuts the gain "
               "by 12%; disabling the type register cuts it by "
               "30%.");
-    return 0;
+    return bench::finish(opt);
 }

@@ -10,10 +10,12 @@
 #define RLR_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/sweep_runner.hh"
 #include "stats/stats.hh"
 #include "trace/workloads.hh"
 #include "util/args.hh"
@@ -34,6 +36,13 @@ struct BenchOptions
     size_t threads = 8;
     bool csv = false;
     uint64_t seed = 42;
+
+    /** SweepRunner knobs (threads mirrored, --progress). */
+    sim::SweepOptions sweep;
+    /** --json: combined export path for every sweep in the run. */
+    std::string json;
+    /** --inject-fail: "<workload>:<policy>" cell forced to throw. */
+    std::string inject_fail;
 
     /** RL-specific scaling. */
     uint64_t rl_instructions = 300'000;
@@ -64,7 +73,16 @@ makeParser(const std::string &description)
     parser.addOption("rl-instructions", "300000",
                      "Instructions for RL trace capture");
     parser.addOption("rl-epochs", "2", "RL training epochs");
+    parser.addOption("json", "",
+                     "Write every sweep cell (result, telemetry, "
+                     "error) as JSON to this path");
+    parser.addOption("inject-fail", "",
+                     "Force sweep cell <workload>:<policy> to "
+                     "throw (exercises the failure path)");
     parser.addFlag("csv", "Emit CSV instead of aligned tables");
+    parser.addFlag("progress",
+                   "Live sweep progress line (done/total, ETA) on "
+                   "stderr");
     parser.addFlag("paper-scale",
                    "Use paper-scale run lengths (slow)");
     return parser;
@@ -80,6 +98,10 @@ makeOptions(const util::ArgParser &parser)
     opt.seed = parser.getUint("seed");
     opt.params.seed = opt.seed;
     opt.threads = parser.getUint("threads");
+    opt.sweep.threads = opt.threads;
+    opt.sweep.progress = parser.getFlag("progress");
+    opt.json = parser.get("json");
+    opt.inject_fail = parser.get("inject-fail");
     opt.csv = parser.getFlag("csv");
     opt.workloads = parser.getList("workloads");
     opt.policies = parser.getList("policies");
@@ -100,6 +122,82 @@ emit(const BenchOptions &opt, const util::Table &table)
 {
     std::fputs(
         (opt.csv ? table.csv() : table.render()).c_str(), stdout);
+}
+
+namespace detail
+{
+
+/** Every sweep cell this binary has run, for the --json export. */
+inline std::vector<sim::SweepCell> &
+collectedCells()
+{
+    static std::vector<sim::SweepCell> cells;
+    return cells;
+}
+
+/** Install the --inject-fail fault hook on @p runner. */
+inline void
+applyInjectFail(sim::SweepRunner &runner, const BenchOptions &opt)
+{
+    if (opt.inject_fail.empty())
+        return;
+    const std::string target = opt.inject_fail;
+    runner.setCellFn([target](const sim::SweepRunner::CellSpec &s,
+                              const sim::SimParams &p) {
+        if (s.workload + ":" + s.policy == target)
+            throw std::runtime_error(
+                "injected failure (--inject-fail)");
+        return sim::runWorkloads(s.cores, p);
+    });
+}
+
+} // namespace detail
+
+/**
+ * Run a fault-isolated (workloads x policies) sweep with the
+ * shared --threads/--progress knobs and record the cells for the
+ * --json export / finish() failure report. Failed cells keep a
+ * default result, so downstream tables print zeros for them
+ * rather than aborting the whole figure.
+ */
+inline std::vector<sim::SweepCell>
+runSweep(const BenchOptions &opt, const sim::SimParams &params,
+         const std::vector<std::string> &workloads,
+         const std::vector<std::string> &policies)
+{
+    sim::SweepRunner runner(params, opt.sweep);
+    detail::applyInjectFail(runner, opt);
+    auto cells = runner.run(workloads, policies);
+    detail::collectedCells().insert(detail::collectedCells().end(),
+                                    cells.begin(), cells.end());
+    return cells;
+}
+
+/** runSweep() with the options' own SimParams. */
+inline std::vector<sim::SweepCell>
+runSweep(const BenchOptions &opt,
+         const std::vector<std::string> &workloads,
+         const std::vector<std::string> &policies)
+{
+    return runSweep(opt, opt.params, workloads, policies);
+}
+
+/**
+ * Shared epilogue for every bench main: write the --json export
+ * (all sweeps combined), print an error table when any cell
+ * failed, and return the process exit status (1 on any failure).
+ */
+inline int
+finish(const BenchOptions &opt)
+{
+    const auto &cells = detail::collectedCells();
+    if (!opt.json.empty())
+        sim::SweepRunner::writeJson(opt.json, cells);
+    if (!sim::SweepRunner::anyFailed(cells))
+        return 0;
+    std::puts("\n=== Failed sweep cells ===");
+    emit(opt, sim::SweepRunner::errorTable(cells));
+    return 1;
 }
 
 /** Names of all SPEC-like workloads. */
@@ -146,8 +244,7 @@ runSpeedupFigure(const BenchOptions &opt,
     std::vector<std::string> all_policies = {"LRU"};
     all_policies.insert(all_policies.end(), policies.begin(),
                         policies.end());
-    const auto cells = sim::sweep(workloads, all_policies,
-                                  opt.params, opt.threads);
+    const auto cells = runSweep(opt, workloads, all_policies);
 
     std::vector<std::string> header = {"Benchmark"};
     for (const auto &p : policies)
@@ -210,23 +307,47 @@ struct MixCell
     sim::RunResult result;
 };
 
-/** Run every (mix, policy) pair in parallel. */
-inline std::vector<MixCell>
-multicoreSweep(const std::vector<std::vector<std::string>> &mixes,
-               const std::vector<std::string> &policies,
-               const sim::SimParams &params, size_t threads)
+/** Display label of mix @p m: "mix0(wlA+wlB+...)". */
+inline std::string
+mixLabel(size_t m, const std::vector<std::string> &mix)
 {
-    std::vector<MixCell> cells;
+    std::string label = "mix" + std::to_string(m) + "(";
+    for (size_t c = 0; c < mix.size(); ++c) {
+        if (c)
+            label += '+';
+        label += mix[c];
+    }
+    return label + ")";
+}
+
+/**
+ * Run every (mix, policy) pair through the SweepRunner (same
+ * fault isolation, telemetry, and --json recording as runSweep).
+ */
+inline std::vector<MixCell>
+multicoreSweep(const BenchOptions &opt,
+               const std::vector<std::vector<std::string>> &mixes,
+               const std::vector<std::string> &policies)
+{
+    std::vector<sim::SweepRunner::CellSpec> specs;
     for (size_t m = 0; m < mixes.size(); ++m)
         for (const auto &p : policies)
-            cells.push_back(MixCell{m, p, {}});
-    util::ThreadPool::parallelFor(
-        cells.size(), threads, [&](size_t i) {
-            sim::SimParams p = params;
-            p.llc_policy = cells[i].policy;
-            cells[i].result =
-                sim::runWorkloads(mixes[cells[i].mix], p);
-        });
+            specs.push_back(sim::SweepRunner::CellSpec{
+                mixLabel(m, mixes[m]), p, mixes[m]});
+    sim::SweepRunner runner(opt.params, opt.sweep);
+    detail::applyInjectFail(runner, opt);
+    const auto sweep_cells = runner.runCells(std::move(specs));
+    detail::collectedCells().insert(detail::collectedCells().end(),
+                                    sweep_cells.begin(),
+                                    sweep_cells.end());
+
+    std::vector<MixCell> cells;
+    cells.reserve(sweep_cells.size());
+    for (size_t i = 0; i < sweep_cells.size(); ++i) {
+        cells.push_back(MixCell{i / policies.size(),
+                                sweep_cells[i].policy,
+                                sweep_cells[i].result});
+    }
     return cells;
 }
 

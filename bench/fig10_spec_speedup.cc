@@ -32,5 +32,5 @@ main(int argc, char **argv)
     std::puts("\nPaper's overall numbers (1-core SPEC2006): DRRIP "
               "1.50%, KPC-R 2.30%, SHiP 2.24%, RLR 3.25%, "
               "RLR(unopt) 3.60%, Hawkeye 3.03%, SHiP++ 3.76%.");
-    return 0;
+    return bench::finish(opt);
 }

@@ -31,5 +31,5 @@ main(int argc, char **argv)
     std::puts("\nPaper's overall numbers (1-core CloudSuite): DRRIP "
               "1.80%, KPC-R 3.07%, SHiP 2.64%, RLR 3.48%, "
               "RLR(unopt) 4.02%, Hawkeye 2.09%, SHiP++ 4.60%.");
-    return 0;
+    return bench::finish(opt);
 }

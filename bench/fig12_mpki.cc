@@ -28,8 +28,8 @@ main(int argc, char **argv)
     std::vector<std::string> all_policies = {"LRU"};
     all_policies.insert(all_policies.end(), policies.begin(),
                         policies.end());
-    const auto cells = sim::sweep(workloads, all_policies,
-                                  opt.params, opt.threads);
+    const auto cells =
+        bench::runSweep(opt, workloads, all_policies);
 
     std::vector<std::string> header = {"Benchmark", "LRU"};
     for (const auto &p : policies)
@@ -57,5 +57,5 @@ main(int argc, char **argv)
     std::puts("\nPaper's shape: RLR reduces MPKI vs DRRIP on the "
               "irregular-reuse benchmarks (up to 52% on "
               "471.omnetpp, min 2.5% on 429.mcf).");
-    return 0;
+    return bench::finish(opt);
 }

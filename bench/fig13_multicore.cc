@@ -32,8 +32,8 @@ main(int argc, char **argv)
     std::vector<std::string> all_policies = {"LRU"};
     all_policies.insert(all_policies.end(), policies.begin(),
                         policies.end());
-    const auto cells = bench::multicoreSweep(
-        mixes, all_policies, opt.params, opt.threads);
+    const auto cells =
+        bench::multicoreSweep(opt, mixes, all_policies);
 
     std::vector<std::string> header = {"Mix"};
     for (const auto &p : policies)
@@ -72,5 +72,5 @@ main(int argc, char **argv)
     std::puts("\nPaper's shape (4-core SPEC2006): RLR > DRRIP by "
               "~2.3pp; PC-based SHiP/SHiP++/Hawkeye lead; KPC-R "
               "slightly ahead of RLR in multicore.");
-    return 0;
+    return bench::finish(opt);
 }

@@ -30,8 +30,7 @@ main(int argc, char **argv)
                     "SHiP++", "Hawkeye", "RLR"};
 
     // Full-hierarchy hit rates.
-    const auto cells =
-        sim::sweep(workloads, policies, opt.params, opt.threads);
+    const auto cells = bench::runSweep(opt, workloads, policies);
 
     // Offline RL + Belady per workload, from LRU-captured traces.
     struct OfflineRates
@@ -98,5 +97,5 @@ main(int argc, char **argv)
     std::puts("Expected shape: BELADY >= RL >= LRU(off); "
               "PC-based policies >= non-PC policies on most "
               "benchmarks.");
-    return 0;
+    return bench::finish(opt);
 }

@@ -71,10 +71,8 @@ main(int argc, char **argv)
 
     const auto spec = bench::specNames();
     const auto cloud = bench::cloudNames();
-    const auto spec_cells =
-        sim::sweep(spec, all, opt.params, opt.threads);
-    const auto cloud_cells =
-        sim::sweep(cloud, all, opt.params, opt.threads);
+    const auto spec_cells = bench::runSweep(opt, spec, all);
+    const auto cloud_cells = bench::runSweep(opt, cloud, all);
 
     std::vector<std::string> mc_all = {"LRU"};
     for (const auto &p : policies)
@@ -89,10 +87,10 @@ main(int argc, char **argv)
             mix.push_back(cloud[(m + c) % cloud.size()]);
         cloud_mixes.push_back(std::move(mix));
     }
-    const auto spec_mc = bench::multicoreSweep(
-        spec_mixes, mc_all, opt.params, opt.threads);
-    const auto cloud_mc = bench::multicoreSweep(
-        cloud_mixes, mc_all, opt.params, opt.threads);
+    const auto spec_mc =
+        bench::multicoreSweep(opt, spec_mixes, mc_all);
+    const auto cloud_mc =
+        bench::multicoreSweep(opt, cloud_mixes, mc_all);
 
     util::Table table({"Policy", "1-core SPEC2006",
                        "1-core CloudSuite", "4-core SPEC2006",
@@ -131,5 +129,5 @@ main(int argc, char **argv)
         "RLR(unopt) 3.60/4.02/5.87/2.50, SHiP 2.24/2.64/6.33/"
         "3.09, Hawkeye 3.03/2.09/7.69/2.45, SHiP++ 3.76/4.60/"
         "7.37/3.89.");
-    return 0;
+    return bench::finish(opt);
 }

@@ -34,6 +34,14 @@ RlrPolicy::RlrPolicy(RlrConfig config) : config_(config)
 {
     util::ensure(config_.age_bits >= 1 && config_.age_bits <= 16,
                  "RLR: bad age_bits");
+    util::ensure(config_.hit_bits >= 1 && config_.hit_bits <= 16,
+                 "RLR: bad hit_bits");
+    // overhead() charges a 3-bit per-set miss counter for the
+    // optimized variant, so the tick period must fit in it.
+    util::ensure(config_.age_tick_misses >= 1 &&
+                     config_.age_tick_misses <= 8,
+                 "RLR: age_tick_misses must fit the 3-bit per-set "
+                 "counter (1..8)");
     util::ensure(util::isPowerOfTwo(config_.rd_update_hits),
                  "RLR: rd_update_hits must be a power of two");
     age_max_ = (1u << config_.age_bits) - 1;
@@ -138,17 +146,23 @@ RlrPolicy::updateCorePriorities()
 }
 
 uint64_t
+RlrPolicy::ageUnits(const LineState &ls) const
+{
+    // Ages and RD are both kept in set-miss units; the optimized
+    // variant's per-line counter ticks once per age_tick_misses
+    // misses, so its value is scaled back up for any comparison
+    // against RD.
+    return config_.optimized
+               ? static_cast<uint64_t>(ls.age) *
+                     config_.age_tick_misses
+               : ls.age;
+}
+
+uint64_t
 RlrPolicy::linePriority(uint32_t set, uint32_t way) const
 {
     const LineState &ls = line(set, way);
-    // Ages and RD are both kept in set-miss units; the optimized
-    // variant's per-line counter ticks once per age_tick_misses
-    // misses, so its value is scaled back up for the comparison.
-    const uint64_t age_units =
-        config_.optimized
-            ? static_cast<uint64_t>(ls.age) * config_.age_tick_misses
-            : ls.age;
-    const uint64_t p_age = age_units <= rd_ ? 1 : 0;
+    const uint64_t p_age = ageUnits(ls) <= rd_ ? 1 : 0;
     uint64_t p = config_.age_weight * p_age;
     if (config_.use_type_priority && !ls.last_was_prefetch)
         p += 1;
@@ -169,10 +183,14 @@ RlrPolicy::findVictim(const cache::AccessContext &ctx,
     if (config_.allow_bypass &&
         ctx.type != trace::AccessType::Writeback) {
         // Bypass when no line has outlived the predicted reuse
-        // distance: every resident line may still be reused.
+        // distance: every resident line may still be reused. The
+        // comparison must use scaled ages: raw optimized ages top
+        // out at age_max_ (3), so comparing them against an RD in
+        // set-miss units would bypass nearly every fill once
+        // RD > age_max_.
         bool any_expired = false;
         for (uint32_t w = 0; w < ways_; ++w) {
-            if (line(set, w).age > rd_) {
+            if (ageUnits(line(set, w)) > rd_) {
                 any_expired = true;
                 break;
             }

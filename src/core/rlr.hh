@@ -129,6 +129,9 @@ class RlrPolicy : public cache::ReplacementPolicy
     LineState &line(uint32_t set, uint32_t way);
     const LineState &line(uint32_t set, uint32_t way) const;
 
+    /** Line age converted to RD's units (scaled when optimized). */
+    uint64_t ageUnits(const LineState &ls) const;
+
     /** Advance per-line ages for one access to @p set. */
     void ageSet(uint32_t set, bool miss);
 

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
+#include "sim/sweep_runner.hh"
 #include "stats/stats.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
-#include "util/thread_pool.hh"
 
 namespace rlr::sim
 {
@@ -150,17 +151,17 @@ sweep(const std::vector<std::string> &workloads,
       const std::vector<std::string> &policies,
       const SimParams &params, size_t threads)
 {
-    std::vector<SweepCell> cells;
-    for (const auto &w : workloads)
-        for (const auto &p : policies)
-            cells.push_back(SweepCell{w, p, {}});
-
-    util::ThreadPool::parallelFor(
-        cells.size(), threads, [&](size_t i) {
-            SimParams p = params;
-            p.llc_policy = cells[i].policy;
-            cells[i].result = runSingleCore(cells[i].workload, p);
-        });
+    SweepOptions opts;
+    opts.threads = threads;
+    SweepRunner runner(params, opts);
+    auto cells = runner.run(workloads, policies);
+    for (const auto &c : cells) {
+        if (!c.ok()) {
+            throw std::runtime_error(
+                util::format("sweep cell ({}, {}) failed: {}",
+                             c.workload, c.policy, c.error));
+        }
+    }
     return cells;
 }
 

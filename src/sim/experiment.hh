@@ -92,12 +92,30 @@ struct SweepCell
     std::string workload;
     std::string policy;
     RunResult result;
+
+    /** Seed actually used for this cell (derived, per-workload). */
+    uint64_t seed = 0;
+    /** Wall-clock runtime of this cell in seconds. */
+    double wall_seconds = 0.0;
+    /** Simulated instruction throughput (million instrs/sec). */
+    double mips = 0.0;
+    /** Non-empty when the cell failed; result is default-valued. */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
 };
 
 /**
  * Run every (workload, policy) pair, parallelized across
  * @p threads worker threads. Results are deterministic: each cell
- * simulates in isolation with a seed derived from params.seed.
+ * simulates in isolation with a seed derived from params.seed and
+ * the workload name (never from scheduling order).
+ *
+ * Thin wrapper over SweepRunner that preserves the historical
+ * fail-fast contract: every cell is attempted, then the first
+ * cell failure (if any) is rethrown as std::runtime_error. Use
+ * SweepRunner directly for fault-isolated sweeps that report
+ * per-cell errors instead of throwing.
  */
 std::vector<SweepCell>
 sweep(const std::vector<std::string> &workloads,

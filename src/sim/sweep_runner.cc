@@ -1,0 +1,251 @@
+#include "sim/sweep_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace rlr::sim
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** FNV-1a over the label; stable across platforms and runs. */
+uint64_t
+hashLabel(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer: decorrelates nearby seeds. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** JSON number, or null for non-finite values (invalid in JSON). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(SimParams params, SweepOptions opts)
+    : params_(std::move(params)), opts_(std::move(opts))
+{
+}
+
+uint64_t
+SweepRunner::cellSeed(uint64_t master_seed,
+                      const std::string &workload)
+{
+    return mix64(master_seed ^ hashLabel(workload));
+}
+
+std::vector<SweepCell>
+SweepRunner::run(const std::vector<std::string> &workloads,
+                 const std::vector<std::string> &policies)
+{
+    std::vector<CellSpec> specs;
+    specs.reserve(workloads.size() * policies.size());
+    for (const auto &w : workloads)
+        for (const auto &p : policies)
+            specs.push_back(CellSpec{w, p, {w}});
+    return runCells(std::move(specs));
+}
+
+std::vector<SweepCell>
+SweepRunner::runCells(std::vector<CellSpec> specs)
+{
+    std::vector<SweepCell> cells(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        cells[i].workload = specs[i].workload;
+        cells[i].policy = specs[i].policy;
+        cells[i].seed = cellSeed(params_.seed, specs[i].workload);
+    }
+
+    const auto sweep_start = Clock::now();
+    std::atomic<size_t> done{0};
+    std::mutex progress_mutex;
+
+    util::ThreadPool::parallelFor(
+        specs.size(), opts_.threads, [&](size_t i) {
+            SweepCell &cell = cells[i];
+            SimParams p = params_;
+            p.llc_policy = cell.policy;
+            p.seed = cell.seed;
+            const auto cell_start = Clock::now();
+            try {
+                cell.result = cell_fn_
+                                  ? cell_fn_(specs[i], p)
+                                  : runWorkloads(specs[i].cores, p);
+            } catch (const std::exception &e) {
+                cell.error = e.what();
+            } catch (...) {
+                cell.error = "unknown exception";
+            }
+            cell.wall_seconds = secondsSince(cell_start);
+            if (cell.ok() && cell.wall_seconds > 0.0) {
+                cell.mips =
+                    static_cast<double>(
+                        cell.result.total_instructions) /
+                    cell.wall_seconds / 1e6;
+            }
+
+            const size_t n_done = done.fetch_add(1) + 1;
+            if (!opts_.progress)
+                return;
+            const double elapsed = secondsSince(sweep_start);
+            const double eta =
+                elapsed / static_cast<double>(n_done) *
+                static_cast<double>(specs.size() - n_done);
+            std::scoped_lock lock(progress_mutex);
+            std::fprintf(stderr,
+                         "\r[sweep] %zu/%zu cells, %.1fs elapsed, "
+                         "eta %.1fs   ",
+                         n_done, specs.size(), elapsed, eta);
+            std::fflush(stderr);
+        });
+
+    if (opts_.progress)
+        std::fputc('\n', stderr);
+    if (!opts_.json_path.empty())
+        writeJson(opts_.json_path, cells);
+    return cells;
+}
+
+bool
+SweepRunner::anyFailed(const std::vector<SweepCell> &cells)
+{
+    for (const auto &c : cells)
+        if (!c.ok())
+            return true;
+    return false;
+}
+
+util::Table
+SweepRunner::errorTable(const std::vector<SweepCell> &cells)
+{
+    util::Table table({"Workload", "Policy", "Error"});
+    for (const auto &c : cells)
+        if (!c.ok())
+            table.addRow({c.workload, c.policy, c.error});
+    return table;
+}
+
+std::string
+SweepRunner::toJson(const std::vector<SweepCell> &cells)
+{
+    std::string out = "[\n";
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell &c = cells[i];
+        out += "  {";
+        out += "\"workload\": \"" + jsonEscape(c.workload) + "\", ";
+        out += "\"policy\": \"" + jsonEscape(c.policy) + "\", ";
+        out += "\"seed\": " + std::to_string(c.seed) + ", ";
+        if (c.ok()) {
+            out += "\"hit_rate\": " +
+                   jsonNumber(c.result.llcDemandHitRate()) + ", ";
+            out += "\"mpki\": " +
+                   jsonNumber(c.result.llcDemandMpki()) + ", ";
+            out += "\"ipc\": " + jsonNumber(c.result.ipc()) + ", ";
+            out += "\"instructions\": " +
+                   std::to_string(c.result.total_instructions) +
+                   ", ";
+        } else {
+            out += "\"hit_rate\": null, \"mpki\": null, "
+                   "\"ipc\": null, \"instructions\": null, ";
+        }
+        out += "\"runtime_s\": " + jsonNumber(c.wall_seconds) +
+               ", ";
+        out += "\"mips\": " + jsonNumber(c.mips) + ", ";
+        out += c.ok() ? "\"error\": null"
+                      : "\"error\": \"" + jsonEscape(c.error) +
+                            "\"";
+        out += i + 1 < cells.size() ? "},\n" : "}\n";
+    }
+    out += "]\n";
+    return out;
+}
+
+void
+SweepRunner::writeJson(const std::string &path,
+                       const std::vector<SweepCell> &cells)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        util::fatal("cannot open JSON export path '{}'", path);
+    const std::string json = toJson(cells);
+    const size_t written =
+        std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    if (written != json.size())
+        util::fatal("short write to JSON export path '{}'", path);
+}
+
+} // namespace rlr::sim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * SweepRunner — the fault-isolated, observable parallel experiment
+ * engine behind every (workload x policy) sweep.
+ *
+ * Each cell runs in isolation on a worker thread with a seed
+ * derived deterministically from the master seed and the cell's
+ * workload label (never from scheduling order, so serial and
+ * parallel sweeps agree bit-for-bit, and every policy sees the
+ * same access stream for a given workload). A throwing cell is
+ * captured as a per-cell error string instead of tearing down the
+ * sweep: the remaining cells still run, and callers decide how to
+ * surface the failure (error table, JSON export, exit status).
+ *
+ * Observability:
+ *  - per-cell wall-clock runtime and simulated-instruction
+ *    throughput (MIPS) recorded on every SweepCell;
+ *  - an optional live progress line (cells done / total, ETA) on
+ *    stderr, gated behind SweepOptions::progress;
+ *  - an optional machine-readable JSON export of every cell
+ *    (workload, policy, seed, hit rate, MPKI, IPC, runtime,
+ *    error) via SweepOptions::json_path or writeJson().
+ */
+
+#ifndef RLR_SIM_SWEEP_RUNNER_HH
+#define RLR_SIM_SWEEP_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+namespace rlr::sim
+{
+
+/** Execution/observability knobs of one sweep. */
+struct SweepOptions
+{
+    /** Worker threads (1 = serial, still fault-isolated). */
+    size_t threads = 1;
+    /** Emit a live progress line (done/total, ETA) on stderr. */
+    bool progress = false;
+    /** When non-empty, write a JSON export here after the run. */
+    std::string json_path;
+};
+
+/** Fault-isolated parallel (workload x policy) experiment engine. */
+class SweepRunner
+{
+  public:
+    /** One unit of work: a policy over one or more core workloads. */
+    struct CellSpec
+    {
+        /** Display label (the workload name, or a mix label). */
+        std::string workload;
+        std::string policy;
+        /** Workloads, one per simulated core. */
+        std::vector<std::string> cores;
+    };
+
+    /** Cell body; replaceable for tests (fault injection). */
+    using CellFn =
+        std::function<RunResult(const CellSpec &, const SimParams &)>;
+
+    SweepRunner(SimParams params, SweepOptions opts = {});
+
+    /** Replace the default runWorkloads() cell body (tests). */
+    void setCellFn(CellFn fn) { cell_fn_ = std::move(fn); }
+
+    /** Run the full (workloads x policies) cross product. */
+    std::vector<SweepCell>
+    run(const std::vector<std::string> &workloads,
+        const std::vector<std::string> &policies);
+
+    /** Run an explicit cell list (multicore mixes, custom grids). */
+    std::vector<SweepCell> runCells(std::vector<CellSpec> specs);
+
+    /**
+     * Seed for a cell: mixes @p master_seed with the workload
+     * label only, so a workload's access stream is identical
+     * under every policy and independent of cell order.
+     */
+    static uint64_t cellSeed(uint64_t master_seed,
+                             const std::string &workload);
+
+    /** @return true when any cell recorded an error. */
+    static bool anyFailed(const std::vector<SweepCell> &cells);
+
+    /** Table of the failed cells (Workload | Policy | Error). */
+    static util::Table errorTable(const std::vector<SweepCell> &cells);
+
+    /** JSON array of every cell's result and telemetry. */
+    static std::string toJson(const std::vector<SweepCell> &cells);
+
+    /** Write toJson(cells) to @p path; fatal() on I/O failure. */
+    static void writeJson(const std::string &path,
+                          const std::vector<SweepCell> &cells);
+
+  private:
+    SimParams params_;
+    SweepOptions opts_;
+    CellFn cell_fn_;
+};
+
+} // namespace rlr::sim
+
+#endif // RLR_SIM_SWEEP_RUNNER_HH

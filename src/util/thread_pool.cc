@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace rlr::util
 {
@@ -71,21 +72,33 @@ ThreadPool::parallelFor(size_t n, size_t nthreads,
         return;
     }
     std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
     const size_t workers = std::min(n, nthreads);
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
         threads.emplace_back([&] {
-            for (;;) {
+            while (!failed.load(std::memory_order_acquire)) {
                 const size_t i = next.fetch_add(1);
                 if (i >= n)
                     return;
-                fn(i);
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::scoped_lock lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    failed.store(true, std::memory_order_release);
+                }
             }
         });
     }
     for (auto &t : threads)
         t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace rlr::util

@@ -195,6 +195,96 @@ TEST(Rlr, BypassWhenAllProtected)
               cache::ReplacementPolicy::kBypass);
 }
 
+TEST(Rlr, OptimizedBypassUsesScaledAges)
+{
+    // Regression: findVictim's bypass check used to compare raw
+    // optimized ages (0..3) against RD in set-miss units, so any
+    // RD > age_max_ bypassed nearly every fill. Scaled line ages
+    // above RD must suppress the bypass.
+    RlrConfig cfg;
+    cfg.allow_bypass = true;
+    RlrPolicy p(cfg);
+    p.bind(test::tinyGeometry());
+
+    // Drive RD above the raw age maximum (3): rounds of two
+    // misses (ways 1/2) and a demand hit (way 3) produce scaled
+    // preuse samples of 2,4,6,8 repeating, so RD settles at
+    // 4 * avg = 20 set misses after 32 samples.
+    for (int round = 0; round < 32; ++round) {
+        p.onAccess(acc(0, 1, false));
+        p.onAccess(acc(0, 2, false));
+        p.onAccess(acc(0, 3, true));
+    }
+    const uint64_t rd = p.reuseDistance();
+    ASSERT_GT(rd, 3u) << "test needs RD beyond the raw age range";
+    ASSERT_LT(rd, 24u) << "test needs RD below saturated scaled age";
+
+    // Saturate ways 1..3 (4 ticks, scaled age 24) with misses
+    // that only ever fill way 0, so the aged lines stay resident.
+    for (int m = 0; m < 32; ++m)
+        p.onAccess(acc(0, 0, false));
+
+    // Scaled ages (24) exceed RD: a fill must evict, not bypass.
+    // With the unit-mismatch bug the raw ages (3) stayed below RD
+    // and every fill bypassed.
+    std::vector<cache::BlockView> blocks(4);
+    cache::AccessContext miss;
+    miss.set = 0;
+    miss.type = trace::AccessType::Load;
+    EXPECT_NE(p.findVictim(miss, blocks),
+              cache::ReplacementPolicy::kBypass);
+}
+
+TEST(Rlr, UnoptimizedBypassPath)
+{
+    RlrConfig cfg = RlrConfig::unoptimized();
+    cfg.allow_bypass = true;
+    RlrPolicy p(cfg);
+    p.bind(test::tinyGeometry());
+
+    std::vector<cache::BlockView> blocks(4);
+    cache::AccessContext miss;
+    miss.set = 0;
+    miss.type = trace::AccessType::Load;
+
+    // Freshly filled set: ages 3,2,1,0 in access units with
+    // RD = 1, so ways 0 and 1 have expired -> no bypass.
+    for (uint32_t w = 0; w < 4; ++w)
+        p.onAccess(acc(0, w, false));
+    EXPECT_NE(p.findVictim(miss, blocks),
+              cache::ReplacementPolicy::kBypass);
+
+    // Round-robin demand hits: every line's preuse distance is 4
+    // accesses, so after 32 samples RD = 2 * 4 = 8, above every
+    // resident age (0..3): all lines may still be reused -> bypass.
+    for (int i = 0; i < 32; ++i)
+        p.onAccess(acc(0, static_cast<uint32_t>(i % 4), true));
+    ASSERT_GE(p.reuseDistance(), 3u);
+    EXPECT_EQ(p.findVictim(miss, blocks),
+              cache::ReplacementPolicy::kBypass);
+}
+
+TEST(RlrDeathTest, ConstructorRejectsOversizedHitBits)
+{
+    RlrConfig cfg;
+    cfg.hit_bits = 32; // (1u << 32) - 1 would be UB
+    EXPECT_DEATH({ RlrPolicy p(cfg); }, "bad hit_bits");
+}
+
+TEST(RlrDeathTest, ConstructorRejectsOversizedAgeTick)
+{
+    RlrConfig cfg;
+    cfg.age_tick_misses = 9; // 3-bit per-set counter holds <= 8
+    EXPECT_DEATH({ RlrPolicy p(cfg); }, "age_tick_misses");
+}
+
+TEST(RlrDeathTest, ConstructorRejectsZeroAgeTick)
+{
+    RlrConfig cfg;
+    cfg.age_tick_misses = 0; // would divide by zero in ageSet
+    EXPECT_DEATH({ RlrPolicy p(cfg); }, "age_tick_misses");
+}
+
 TEST(Rlr, OverheadMatchesPaperExactly)
 {
     cache::CacheGeometry llc2;

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 #include "util/thread_pool.hh"
 
@@ -61,4 +62,51 @@ TEST(ThreadPool, ParallelForEmpty)
 {
     // Must not hang or crash.
     ThreadPool::parallelFor(0, 4, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException)
+{
+    // A throwing task used to escape the worker thread and call
+    // std::terminate; it must surface on join instead.
+    std::atomic<int> ran{0};
+    try {
+        ThreadPool::parallelFor(64, 4, [&](size_t i) {
+            if (i == 5)
+                throw std::runtime_error("cell 5 exploded");
+            ++ran;
+        });
+        FAIL() << "expected the task exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "cell 5 exploded");
+    }
+    // Iterations started before the failure still completed; the
+    // pool may skip unstarted ones but must never run index 5's
+    // body past the throw.
+    EXPECT_GE(ran.load(), 1);
+    EXPECT_LE(ran.load(), 63);
+}
+
+TEST(ThreadPool, ParallelForSingleThreadPropagates)
+{
+    std::atomic<int> ran{0};
+    EXPECT_THROW(ThreadPool::parallelFor(10, 1,
+                                         [&](size_t i) {
+                                             if (i == 3)
+                                                 throw std::
+                                                     logic_error(
+                                                         "boom");
+                                             ++ran;
+                                         }),
+                 std::logic_error);
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForNonStdExceptionPropagates)
+{
+    EXPECT_THROW(ThreadPool::parallelFor(
+                     8, 2, [](size_t i) {
+                         if (i == 0)
+                             throw 42; // not derived from std::exception
+                     }),
+                 int);
 }
