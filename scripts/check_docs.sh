@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Docs drift checker (wired into ctest as `check_docs`).
+#
+# Fails when:
+#   1. a PolicyFactory policy is missing from docs/POLICIES.md;
+#   2. a bench/tools binary is not mentioned in README.md;
+#   3. README.md references a build/<dir>/<name> binary that no
+#      CMakeLists defines;
+#   4. a shared bench flag (bench/common.hh) is absent from
+#      README.md;
+#   5. a required doc file is missing.
+#
+# Pure grep/sed over the sources: runs without a compiler, so it
+# can gate doc-only changes too. Run from the repository root.
+
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+fail=0
+err() {
+    echo "check_docs: $*" >&2
+    fail=1
+}
+
+for f in README.md docs/POLICIES.md docs/ARCHITECTURE.md \
+         EXPERIMENTS.md; do
+    [ -f "$f" ] || err "required doc '$f' is missing"
+done
+[ "$fail" -eq 0 ] || exit 1
+
+# --- 1. every factory policy is documented --------------------------
+# The authoritative list is the knownPolicies() initializer in
+# policy_factory.cc; docs/POLICIES.md must name each as `Name`.
+policies=$(sed -n '/^knownPolicies/,/^}/p' \
+               src/core/policy_factory.cc |
+           grep -o '"[^"]*"' | tr -d '"')
+[ -n "$policies" ] ||
+    err "could not extract knownPolicies() from policy_factory.cc"
+for p in $policies; do
+    grep -qF "\`$p\`" docs/POLICIES.md ||
+        err "policy '$p' is not documented in docs/POLICIES.md"
+done
+
+# --- 2. every binary is mentioned in README.md ----------------------
+bench_targets=$(grep -o 'rlr_add_bench([A-Za-z0-9_]*' \
+                    bench/CMakeLists.txt | sed 's/.*(//')
+extra_targets=$(grep -o 'add_executable([A-Za-z0-9_]*' \
+                    bench/CMakeLists.txt tools/CMakeLists.txt |
+                sed 's/.*(//')
+for t in $bench_targets $extra_targets; do
+    grep -q "\b$t\b" README.md ||
+        err "binary '$t' is not mentioned in README.md"
+done
+
+# --- 3. README build/<dir>/<name> references exist ------------------
+refs=$(grep -o 'build/[a-z]*/[A-Za-z0-9_]*' README.md | sort -u)
+for ref in $refs; do
+    dir=$(echo "$ref" | cut -d/ -f2)
+    name=$(echo "$ref" | cut -d/ -f3)
+    cmakelists="$dir/CMakeLists.txt"
+    [ -f "$cmakelists" ] || {
+        err "README references '$ref' but $cmakelists not found"
+        continue
+    }
+    grep -q "\b$name\b" "$cmakelists" ||
+        err "README references '$ref' but '$name' is not a" \
+            "target in $cmakelists"
+done
+
+# --- 4. shared bench flags are documented ---------------------------
+flags=$(grep -o 'add\(Option\|Flag\)("[a-z-]*"' bench/common.hh |
+        sed 's/.*("//; s/"//')
+for f in $flags; do
+    grep -q -- "--$f" README.md ||
+        err "shared bench flag '--$f' (bench/common.hh) is not" \
+            "documented in README.md"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED (see messages above)" >&2
+    exit 1
+fi
+echo "check_docs: OK"

@@ -299,6 +299,38 @@ Cache::setContents(uint32_t set) const
 }
 
 void
+Cache::describeStats(stats::Registry &reg,
+                     const std::string &prefix)
+{
+    reg.bindStatSet(prefix, &stats_,
+                    "per-type access counters of " + geom_.name);
+    reg.bindCounter(
+        prefix + ".demand_accesses",
+        [this] { return demandAccesses(); }, "LD + RFO accesses");
+    reg.bindCounter(prefix + ".demand_hits",
+                    [this] { return demandHits(); },
+                    "LD + RFO hits");
+    reg.bindCounter(prefix + ".demand_misses",
+                    [this] { return demandMisses(); },
+                    "LD + RFO misses");
+    reg.formula(
+        prefix + ".demand_hit_rate",
+        [this](const stats::Registry &) {
+            return stats::hitRate(demandHits(), demandAccesses());
+        },
+        "demand hit rate in [0, 1]");
+    reg.formula(
+        prefix + ".policy.overhead_kib",
+        [this](const stats::Registry &) {
+            return policy_->overhead().totalKiB(geom_);
+        },
+        "replacement metadata (KiB) at this geometry");
+    policy_->describeStats(reg, prefix + ".policy");
+    if (prefetcher_)
+        prefetcher_->describeStats(reg, prefix + ".prefetcher");
+}
+
+void
 Cache::resetStats()
 {
     stats_.reset();

@@ -83,6 +83,17 @@ class Cache : public MemoryLevel
     stats::StatSet &statSet() { return stats_; }
     const stats::StatSet &statSet() const { return stats_; }
 
+    /**
+     * Mount this cache's statistics under @p prefix in the
+     * registry: the per-type access counters, derived demand
+     * totals and hit rate, the replacement policy's storage
+     * overhead and policy-specific stats (under
+     * "<prefix>.policy"), and any attached prefetcher's stats
+     * (under "<prefix>.prefetcher").
+     */
+    void describeStats(stats::Registry &reg,
+                       const std::string &prefix);
+
     /** Zero statistics (end of warmup); cache contents persist. */
     void resetStats();
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cache/geometry.hh"
+#include "stats/registry.hh"
 #include "trace/record.hh"
 
 namespace rlr::cache
@@ -50,6 +51,23 @@ class Prefetcher
                          std::vector<PrefetchRequest> &out) = 0;
 
     virtual std::string name() const = 0;
+
+    /**
+     * Mount prefetcher statistics under @p prefix. The base
+     * implementation exposes the proposal count; subclasses add
+     * their own entries on top (call the base first).
+     */
+    virtual void
+    describeStats(stats::Registry &reg, const std::string &prefix)
+    {
+        reg.bindCounter(
+            prefix + ".proposals", [this] { return proposals_; },
+            "prefetch lines proposed by " + name());
+    }
+
+  protected:
+    /** Lines proposed via observe() (pre-dedup, pre-issue). */
+    uint64_t proposals_ = 0;
 };
 
 } // namespace rlr::cache

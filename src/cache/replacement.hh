@@ -22,6 +22,7 @@
 #include <string>
 
 #include "cache/geometry.hh"
+#include "stats/registry.hh"
 #include "trace/record.hh"
 
 namespace rlr::cache
@@ -126,6 +127,20 @@ class ReplacementPolicy
         (void)set;
         (void)way;
         (void)block;
+    }
+
+    /**
+     * Mount policy-specific statistics (learned parameters,
+     * predictor state, training counters) under @p prefix in the
+     * registry. The owning cache registers the shared entries
+     * (name, storage overhead) itself; the default exposes
+     * nothing extra.
+     */
+    virtual void
+    describeStats(stats::Registry &reg, const std::string &prefix)
+    {
+        (void)reg;
+        (void)prefix;
     }
 
     /** Policy name used in experiment tables. */

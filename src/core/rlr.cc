@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/bits.hh"
+#include "util/format.hh"
 #include "util/logging.hh"
 
 namespace rlr::core
@@ -318,6 +319,30 @@ unsigned
 RlrPolicy::corePriority(uint8_t cpu) const
 {
     return core_priority_[cpu % config_.num_cores];
+}
+
+void
+RlrPolicy::describeStats(stats::Registry &reg,
+                         const std::string &prefix)
+{
+    reg.bindCounter(
+        prefix + ".reuse_distance", [this] { return rd_; },
+        "predicted reuse distance (age-counter units)");
+    reg.bindCounter(
+        prefix + ".accesses", [this] { return accesses_; },
+        "LLC accesses observed by the policy");
+    reg.bindCounter(
+        prefix + ".preuse_samples",
+        [this] { return static_cast<uint64_t>(preuse_samples_); },
+        "demand-hit preuse samples toward the next RD update");
+    if (config_.multicore) {
+        for (unsigned c = 0; c < config_.num_cores; ++c) {
+            reg.bindCounter(
+                prefix + util::format(".core{}_priority", c),
+                [this, c] { return core_priority_[c]; },
+                "multicore eviction priority of this core's lines");
+        }
+    }
 }
 
 } // namespace rlr::core

@@ -99,6 +99,8 @@ class RlrPolicy : public cache::ReplacementPolicy
     void onAccess(const cache::AccessContext &ctx) override;
     std::string name() const override;
     cache::StorageOverhead overhead() const override;
+    void describeStats(stats::Registry &reg,
+                       const std::string &prefix) override;
 
     /** Current predicted reuse distance (age-counter units). */
     uint64_t reuseDistance() const { return rd_; }

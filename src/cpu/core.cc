@@ -184,4 +184,30 @@ O3Core::ipc() const
                           static_cast<double>(cyc);
 }
 
+void
+O3Core::describeStats(stats::Registry &reg,
+                      const std::string &prefix)
+{
+    reg.bindStatSet(prefix, &stats_,
+                    "instruction-mix and stall counters");
+    reg.bindCounter(prefix + ".instructions_retired",
+                    [this] { return measuredInstructions(); },
+                    "instructions in the measurement window");
+    reg.bindCounter(prefix + ".cycles",
+                    [this] { return measuredCycles(); },
+                    "cycles in the measurement window");
+    reg.formula(
+        prefix + ".ipc",
+        [this](const stats::Registry &) { return ipc(); },
+        "instructions per cycle over the measurement window");
+    reg.formula(
+        prefix + ".branch_mispredict_rate",
+        [this](const stats::Registry &) {
+            return stats::hitRate(
+                stats_.value("branch_mispredicts"),
+                stats_.value("branches"));
+        },
+        "mispredicted fraction of measured branches");
+}
+
 } // namespace rlr::cpu

@@ -21,6 +21,7 @@
 
 #include "cache/memory_interface.hh"
 #include "cpu/branch_predictor.hh"
+#include "stats/registry.hh"
 #include "stats/stats.hh"
 #include "trace/record.hh"
 
@@ -88,6 +89,14 @@ class O3Core
 
     stats::StatSet &statSet() { return stats_; }
     const GsharePredictor &branchPredictor() const { return bp_; }
+
+    /**
+     * Mount core statistics under @p prefix: instruction-mix and
+     * stall counters, measured instructions/cycles, and derived
+     * IPC and branch-misprediction rate.
+     */
+    void describeStats(stats::Registry &reg,
+                       const std::string &prefix);
 
     uint8_t cpuId() const { return cpu_id_; }
 

@@ -49,7 +49,26 @@ Dram::access(const cache::MemRequest &req, uint64_t now)
     channel_free_ = start + config_.channel_cycles;
 
     ++stats_.counter("reads");
+    read_latency_.sample(done - now);
     return done;
+}
+
+void
+Dram::describeStats(stats::Registry &reg, const std::string &prefix)
+{
+    reg.bindStatSet(prefix, &stats_,
+                    "DRAM access counters of " + name_);
+    reg.formula(
+        prefix + ".row_hit_rate",
+        [this](const stats::Registry &) {
+            const auto hits = stats_.value("row_hits");
+            const auto misses = stats_.value("row_misses");
+            return stats::hitRate(hits, hits + misses);
+        },
+        "open-row hit rate in [0, 1]");
+    reg.bindDistribution(
+        prefix + ".read_latency", &read_latency_,
+        "read service latency (cycles, incl. queuing)");
 }
 
 } // namespace rlr::mem

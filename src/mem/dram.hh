@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "cache/memory_interface.hh"
+#include "stats/registry.hh"
 #include "stats/stats.hh"
+#include "util/histogram.hh"
 
 namespace rlr::mem
 {
@@ -48,7 +50,26 @@ class Dram : public cache::MemoryLevel
     stats::StatSet &statSet() { return stats_; }
     const stats::StatSet &statSet() const { return stats_; }
 
-    void resetStats() { stats_.reset(); }
+    /**
+     * Mount DRAM statistics under @p prefix: the access counters,
+     * the derived row-hit rate, and the read-latency distribution
+     * (service time including bank/channel queuing).
+     */
+    void describeStats(stats::Registry &reg,
+                       const std::string &prefix);
+
+    /** Read service latency (cycles, incl. queuing) histogram. */
+    const util::Histogram &readLatency() const
+    {
+        return read_latency_;
+    }
+
+    void
+    resetStats()
+    {
+        stats_.reset();
+        read_latency_.reset();
+    }
 
     const DramConfig &config() const { return config_; }
 
@@ -64,6 +85,8 @@ class Dram : public cache::MemoryLevel
     std::vector<Bank> banks_;
     uint64_t channel_free_ = 0;
     stats::StatSet stats_;
+    /** 32 x 16-cycle buckets cover hit/miss/queued latencies. */
+    util::Histogram read_latency_{32, 16};
 };
 
 } // namespace rlr::mem

@@ -78,6 +78,7 @@ IpStridePrefetcher::observe(uint64_t pc, uint64_t address, bool hit,
         req.address = static_cast<uint64_t>(target)
                       << cache::kLineBits;
         req.confidence = e.confidence.fraction();
+        ++proposals_;
         out.push_back(req);
     }
 }

@@ -91,6 +91,7 @@ KpcPPrefetcher::observe(uint64_t pc, uint64_t address, bool hit,
         cache::PrefetchRequest req;
         req.address = target_addr;
         req.confidence = conf;
+        ++proposals_;
         out.push_back(req);
     }
 }

@@ -25,6 +25,7 @@ NextLinePrefetcher::observe(uint64_t pc, uint64_t address, bool hit,
     req.address =
         cache::CacheGeometry::lineAddress(address) + cache::kLineBytes;
     req.confidence = 0.5;
+    ++proposals_;
     out.push_back(req);
 }
 

@@ -124,8 +124,9 @@ runWorkloads(const std::vector<std::string> &workloads,
     result.llc_demand_accesses = system.llc().demandAccesses();
     result.llc_demand_hits = system.llc().demandHits();
     result.llc_demand_misses = system.llc().demandMisses();
-    result.llc_stats = system.llc().statSet();
-    result.dram_stats = system.dram().statSet();
+    stats::Registry registry;
+    system.describeStats(registry);
+    result.stats = registry.snapshot();
     if (params.capture_llc_trace)
         result.llc_trace = system.llcTrace();
     return result;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/system.hh"
+#include "stats/registry.hh"
 #include "stats/stats.hh"
 #include "trace/trace_io.hh"
 
@@ -51,9 +52,14 @@ struct RunResult
     uint64_t llc_demand_misses = 0;
     uint64_t total_instructions = 0;
 
-    /** LLC stat counters (per-type hits/misses, evictions, ...). */
-    stats::StatSet llc_stats;
-    stats::StatSet dram_stats;
+    /**
+     * Frozen registry snapshot of the whole system (every
+     * component's counters, distributions, and formulas under the
+     * dotted naming scheme — "llc.evictions", "dram.row_hits",
+     * "core0.ipc", ...). Exported per sweep cell in the JSON
+     * output and consumed by tools/report.
+     */
+    stats::Snapshot stats;
 
     /** Captured LLC access stream (capture_llc_trace only). */
     trace::LlcTrace llc_trace;

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "stats/export.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -47,51 +48,9 @@ mix64(uint64_t x)
     return x ^ (x >> 31);
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const unsigned char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          default:
-            if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += static_cast<char>(c);
-            }
-        }
-    }
-    return out;
-}
-
-/** JSON number, or null for non-finite values (invalid in JSON). */
-std::string
-jsonNumber(double v)
-{
-    if (!std::isfinite(v))
-        return "null";
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.10g", v);
-    return buf;
-}
+// Shared JSON primitives (stats/export.hh).
+using stats::json::escape;
+using stats::json::number;
 
 } // namespace
 
@@ -205,28 +164,54 @@ SweepRunner::toJson(const std::vector<SweepCell> &cells)
     for (size_t i = 0; i < cells.size(); ++i) {
         const SweepCell &c = cells[i];
         out += "  {";
-        out += "\"workload\": \"" + jsonEscape(c.workload) + "\", ";
-        out += "\"policy\": \"" + jsonEscape(c.policy) + "\", ";
-        out += "\"seed\": " + std::to_string(c.seed) + ", ";
+        out += util::format("\"workload\": \"{}\", ",
+                            escape(c.workload));
+        out += util::format("\"policy\": \"{}\", ",
+                            escape(c.policy));
+        out += util::format("\"seed\": {}, ", c.seed);
         if (c.ok()) {
-            out += "\"hit_rate\": " +
-                   jsonNumber(c.result.llcDemandHitRate()) + ", ";
-            out += "\"mpki\": " +
-                   jsonNumber(c.result.llcDemandMpki()) + ", ";
-            out += "\"ipc\": " + jsonNumber(c.result.ipc()) + ", ";
-            out += "\"instructions\": " +
-                   std::to_string(c.result.total_instructions) +
-                   ", ";
+            out += util::format(
+                "\"hit_rate\": {}, ",
+                number(c.result.llcDemandHitRate()));
+            out += util::format(
+                "\"mpki\": {}, ", number(c.result.llcDemandMpki()));
+            out += util::format("\"ipc\": {}, ",
+                                number(c.result.ipc()));
+            out += util::format("\"instructions\": {}, ",
+                                c.result.total_instructions);
+            // Per-core outcomes (fig13-style weighted speedups
+            // need every core's IPC, not just core 0's).
+            out += "\"cores\": [";
+            for (size_t k = 0; k < c.result.cores.size(); ++k) {
+                const CoreResult &core = c.result.cores[k];
+                if (k)
+                    out += ", ";
+                out += util::format(
+                    "{{\"workload\": \"{}\", \"ipc\": {}, "
+                    "\"instructions\": {}}}",
+                    escape(core.workload), number(core.ipc),
+                    core.instructions);
+            }
+            out += "], ";
+            // Full registry snapshot (counters/formulas/
+            // histograms) of the simulated system.
+            if (!c.result.stats.empty()) {
+                std::string snap = stats::toJson(c.result.stats);
+                while (!snap.empty() && snap.back() == '\n')
+                    snap.pop_back();
+                out += "\"stats\": " + snap + ", ";
+            }
         } else {
             out += "\"hit_rate\": null, \"mpki\": null, "
-                   "\"ipc\": null, \"instructions\": null, ";
+                   "\"ipc\": null, \"instructions\": null, "
+                   "\"cores\": [], ";
         }
-        out += "\"runtime_s\": " + jsonNumber(c.wall_seconds) +
-               ", ";
-        out += "\"mips\": " + jsonNumber(c.mips) + ", ";
+        out += util::format("\"runtime_s\": {}, ",
+                            number(c.wall_seconds));
+        out += util::format("\"mips\": {}, ", number(c.mips));
         out += c.ok() ? "\"error\": null"
-                      : "\"error\": \"" + jsonEscape(c.error) +
-                            "\"";
+                      : util::format("\"error\": \"{}\"",
+                                     escape(c.error));
         out += i + 1 < cells.size() ? "},\n" : "}\n";
     }
     out += "]\n";

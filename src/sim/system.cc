@@ -102,6 +102,38 @@ System::numCores() const
 }
 
 void
+System::describeStats(stats::Registry &reg)
+{
+    dram_->describeStats(reg, "dram");
+    llc_->describeStats(reg, "llc");
+    for (uint32_t i = 0; i < numCores(); ++i) {
+        const std::string core = util::format("core{}", i);
+        cores_[i]->describeStats(reg, core);
+        l1i_[i]->describeStats(reg, core + ".l1i");
+        l1d_[i]->describeStats(reg, core + ".l1d");
+        l2_[i]->describeStats(reg, core + ".l2");
+    }
+    reg.formula(
+        "llc.demand_mpki",
+        [this](const stats::Registry &) {
+            uint64_t instructions = 0;
+            for (const auto &c : cores_)
+                instructions += c->measuredInstructions();
+            return stats::mpki(llc_->demandMisses(), instructions);
+        },
+        "LLC demand misses per kilo-instruction (all cores)");
+    reg.formula(
+        "total_instructions",
+        [this](const stats::Registry &) {
+            uint64_t instructions = 0;
+            for (const auto &c : cores_)
+                instructions += c->measuredInstructions();
+            return static_cast<double>(instructions);
+        },
+        "measured instructions summed over all cores");
+}
+
+void
 System::resetStats()
 {
     dram_->resetStats();

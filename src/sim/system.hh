@@ -14,6 +14,7 @@
 #include "cache/cache.hh"
 #include "cpu/core.hh"
 #include "mem/dram.hh"
+#include "stats/registry.hh"
 #include "trace/trace_io.hh"
 
 namespace rlr::sim
@@ -82,6 +83,16 @@ class System
 
     /** Reset all statistics (end of warmup); state is kept warm. */
     void resetStats();
+
+    /**
+     * Mount every component's statistics into @p reg with the
+     * canonical dotted naming scheme (docs/ARCHITECTURE.md):
+     * "dram.*", "llc.*" (incl. "llc.policy.*"), and per core i
+     * "core<i>.*", "core<i>.l1i.*", "core<i>.l1d.*",
+     * "core<i>.l2.*", plus system-level formulas such as
+     * "llc.demand_mpki".
+     */
+    void describeStats(stats::Registry &reg);
 
   private:
     SystemConfig config_;

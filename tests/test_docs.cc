@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/policy_factory.hh"
+
+#ifndef RLR_SOURCE_DIR
+#error "RLR_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+/**
+ * docs/POLICIES.md must document every name the PolicyFactory
+ * accepts: adding a policy without documenting it fails here (and
+ * in scripts/check_docs.sh, which also runs without a compiler).
+ */
+TEST(Docs, EveryFactoryPolicyDocumented)
+{
+    const std::string docs = readFile(
+        std::string(RLR_SOURCE_DIR) + "/docs/POLICIES.md");
+    ASSERT_FALSE(docs.empty());
+    for (const auto &name : rlr::core::knownPolicies()) {
+        EXPECT_NE(docs.find("`" + name + "`"), std::string::npos)
+            << "policy '" << name
+            << "' is missing from docs/POLICIES.md";
+    }
+}
+
+TEST(Docs, ArchitectureCoversNamingScheme)
+{
+    const std::string docs = readFile(
+        std::string(RLR_SOURCE_DIR) + "/docs/ARCHITECTURE.md");
+    ASSERT_FALSE(docs.empty());
+    // The registry naming scheme is a documented contract.
+    for (const char *needle :
+         {"llc.policy", "dram.", "core0", "describeStats"}) {
+        EXPECT_NE(docs.find(needle), std::string::npos)
+            << "docs/ARCHITECTURE.md is missing '" << needle
+            << "'";
+    }
+}

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "tools/report_gen.hh"
+
+#ifndef RLR_TEST_DATA_DIR
+#error "RLR_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+dataPath(const std::string &name)
+{
+    return std::string(RLR_TEST_DATA_DIR) + "/" + name;
+}
+
+} // namespace
+
+/**
+ * Golden-file check: the report rendered from the canned sweep
+ * fixture must match tests/data/report_golden.md byte for byte.
+ * Regenerate after intentional format changes with
+ *   cd tests/data && ../../build/tools/report \
+ *     --from sweep_fixture.json --out report_golden.md \
+ *     --title "Golden sweep report"
+ */
+TEST(Report, MatchesGoldenFile)
+{
+    rlr::tools::ReportOptions opts;
+    opts.title = "Golden sweep report";
+    opts.source = "sweep_fixture.json";
+    const std::string got = rlr::tools::generateReport(
+        readFile(dataPath("sweep_fixture.json")), opts);
+    const std::string want =
+        readFile(dataPath("report_golden.md"));
+    EXPECT_EQ(got, want);
+}
+
+TEST(Report, DeterministicAcrossCalls)
+{
+    const std::string json =
+        readFile(dataPath("sweep_fixture.json"));
+    EXPECT_EQ(rlr::tools::generateReport(json),
+              rlr::tools::generateReport(json));
+}
+
+TEST(Report, PaperDeltasPresent)
+{
+    const std::string report = rlr::tools::generateReport(
+        readFile(dataPath("sweep_fixture.json")));
+    // Table-IV-style section with measured-vs-paper deltas.
+    EXPECT_NE(report.find("## Table IV"), std::string::npos);
+    EXPECT_NE(report.find("| RLR | 10.00 | 3.25 | +6.75 |"),
+              std::string::npos);
+    // Fig-style sections.
+    EXPECT_NE(report.find("## Fig. 1"), std::string::npos);
+    EXPECT_NE(report.find("## Fig. 10"), std::string::npos);
+    EXPECT_NE(report.find("## Fig. 12"), std::string::npos);
+    EXPECT_NE(report.find("## Fig. 13"), std::string::npos);
+    // Failed cells are reported, not silently dropped.
+    EXPECT_NE(report.find("injected failure"), std::string::npos);
+}
+
+TEST(Report, MalformedInputThrows)
+{
+    EXPECT_THROW(rlr::tools::generateReport("not json"),
+                 std::runtime_error);
+    EXPECT_THROW(rlr::tools::generateReport("{\"a\": 1}"),
+                 std::runtime_error);
+    EXPECT_THROW(rlr::tools::generateReport("[{\"workload\": }]"),
+                 std::runtime_error);
+}
+
+TEST(Report, EmptySweepStillRenders)
+{
+    const std::string report =
+        rlr::tools::generateReport("[]");
+    EXPECT_NE(report.find("Sweep cells: 0"), std::string::npos);
+    EXPECT_NE(report.find("## Appendix"), std::string::npos);
+}

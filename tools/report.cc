@@ -1,0 +1,89 @@
+/**
+ * @file
+ * `report`: render a paper-fidelity REPORT.md scoreboard from a
+ * SweepRunner --json export.
+ *
+ *   ./build/tools/report --from sweep.json [--out REPORT.md]
+ *
+ * Any bench binary's --json output works as input; the report
+ * covers whatever (workload x policy) cells the sweep contains
+ * and compares them against the paper's published numbers.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "tools/report_gen.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        rlr::util::fatal("cannot open input '{}'", path);
+    std::string text;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        rlr::util::fatal("cannot open output '{}'", path);
+    const size_t written =
+        std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (written != text.size())
+        rlr::util::fatal("short write to '{}'", path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    rlr::util::ArgParser parser(
+        "Render REPORT.md from a SweepRunner --json export");
+    parser.addOption("from", "",
+                     "Sweep JSON input path (required; produced "
+                     "by any bench binary's --json flag)");
+    parser.addOption("out", "REPORT.md",
+                     "Markdown output path ('-' for stdout)");
+    parser.addOption("title", "RLR reproduction report",
+                     "Report H1 title");
+    if (!parser.parse(argc, argv))
+        return 0;
+
+    const std::string from = parser.get("from");
+    if (from.empty())
+        rlr::util::fatal(
+            "--from <sweep.json> is required (run any bench "
+            "binary with --json first)");
+
+    rlr::tools::ReportOptions opts;
+    opts.title = parser.get("title");
+    opts.source = from;
+    const std::string report =
+        rlr::tools::generateReport(readFile(from), opts);
+
+    const std::string out = parser.get("out");
+    if (out == "-") {
+        std::fputs(report.c_str(), stdout);
+    } else {
+        writeFile(out, report);
+        std::fprintf(stderr, "wrote %s (%zu bytes)\n",
+                     out.c_str(), report.size());
+    }
+    return 0;
+}

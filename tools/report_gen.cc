@@ -1,0 +1,618 @@
+#include "tools/report_gen.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/export.hh"
+#include "stats/stats.hh"
+#include "util/format.hh"
+
+namespace rlr::tools
+{
+
+namespace
+{
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/** One sweep cell, as read from the SweepRunner --json export. */
+struct Cell
+{
+    std::string workload;
+    std::string policy;
+    std::string error;
+    double hit_rate = kNan;
+    double mpki = kNan;
+    double ipc = kNan;
+    uint64_t instructions = 0;
+    /** Per-core IPCs ("cores" array); size > 1 for mixes. */
+    std::vector<double> core_ipcs;
+    /** llc.policy.overhead_kib from the embedded snapshot. */
+    double overhead_kib = kNan;
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Paper Table IV: overall geomean IPC speedup over LRU (%), in
+ * the four published configurations.
+ */
+struct PaperRow
+{
+    const char *policy;
+    double spec1, cloud1, spec4, cloud4;
+};
+
+constexpr PaperRow kPaperTable4[] = {
+    {"DRRIP", 1.50, 1.80, 2.63, 1.07},
+    {"KPC-R", 2.30, 3.07, 5.50, 3.80},
+    {"RLR", 3.25, 3.48, 4.86, 2.39},
+    {"RLR-unopt", 3.60, 4.02, 5.87, 2.50},
+    {"SHiP", 2.24, 2.64, 6.33, 3.09},
+    {"Hawkeye", 3.03, 2.09, 7.69, 2.45},
+    {"SHiP++", 3.76, 4.60, 7.37, 3.89},
+};
+
+const PaperRow *
+paperRow(const std::string &policy)
+{
+    for (const auto &r : kPaperTable4)
+        if (policy == r.policy)
+            return &r;
+    return nullptr;
+}
+
+/** Paper Table I storage overhead for a 2MB/16-way LLC (KiB). */
+struct PaperOverhead
+{
+    const char *policy;
+    double kib;
+};
+
+constexpr PaperOverhead kPaperTable1[] = {
+    {"LRU", 16.0},     {"DRRIP", 8.0},    {"KPC-R", 8.57},
+    {"SHiP", 14.0},    {"SHiP++", 20.0},  {"Hawkeye", 28.0},
+    {"Glider", 61.6},  {"MPPPB", 28.0},   {"RLR", 16.75},
+    {"RLR-unopt", 40.0},
+};
+
+double
+paperOverhead(const std::string &policy)
+{
+    for (const auto &r : kPaperTable1)
+        if (policy == r.policy)
+            return r.kib;
+    return kNan;
+}
+
+/** Fixed-precision number; em dash for NaN/inf (missing data). */
+std::string
+fmt(double v, int prec = 2)
+{
+    if (!std::isfinite(v))
+        return "—";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+}
+
+/** Signed delta in percentage points; em dash when undefined. */
+std::string
+fmtDelta(double measured, double expected)
+{
+    if (!std::isfinite(measured) || !std::isfinite(expected))
+        return "—";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%+.2f", measured - expected);
+    return buf;
+}
+
+std::string
+mdTable(const std::vector<std::string> &header,
+        const std::vector<std::vector<std::string>> &rows)
+{
+    std::string out = "|";
+    for (const auto &h : header)
+        out += " " + h + " |";
+    out += "\n|";
+    for (size_t i = 0; i < header.size(); ++i)
+        out += i == 0 ? "---|" : "---:|";
+    out += "\n";
+    for (const auto &row : rows) {
+        out += "|";
+        for (const auto &c : row)
+            out += " " + c + " |";
+        out += "\n";
+    }
+    return out;
+}
+
+double
+numberField(const stats::json::Value &cell, const std::string &key)
+{
+    const auto *v = cell.find(key);
+    return (v && v->isNumber()) ? v->number : kNan;
+}
+
+std::vector<Cell>
+parseCells(const std::string &text)
+{
+    const stats::json::Value root = stats::json::parse(text);
+    if (!root.isArray())
+        throw std::runtime_error(
+            "sweep JSON: root is not an array of cells");
+    std::vector<Cell> cells;
+    cells.reserve(root.array.size());
+    for (const auto &v : root.array) {
+        if (!v.isObject())
+            throw std::runtime_error(
+                "sweep JSON: cell is not an object");
+        Cell c;
+        c.workload = v.stringOr("workload", "");
+        c.policy = v.stringOr("policy", "");
+        if (const auto *err = v.find("error");
+            err && err->isString())
+            c.error = err->string;
+        c.hit_rate = numberField(v, "hit_rate");
+        c.mpki = numberField(v, "mpki");
+        c.ipc = numberField(v, "ipc");
+        c.instructions = static_cast<uint64_t>(
+            v.numberOr("instructions", 0.0));
+        if (const auto *cores = v.find("cores");
+            cores && cores->isArray()) {
+            for (const auto &core : cores->array)
+                c.core_ipcs.push_back(
+                    core.numberOr("ipc", kNan));
+        }
+        if (const auto *snap = v.find("stats")) {
+            if (const auto *formulas = snap->find("formulas"))
+                c.overhead_kib = formulas->numberOr(
+                    "llc.policy.overhead_kib", kNan);
+        }
+        cells.push_back(std::move(c));
+    }
+    return cells;
+}
+
+/** Append @p s to @p order unless already present. */
+void
+noteOrder(std::vector<std::string> &order, const std::string &s)
+{
+    for (const auto &e : order)
+        if (e == s)
+            return;
+    order.push_back(s);
+}
+
+bool
+contains(const std::vector<std::string> &v, const std::string &s)
+{
+    for (const auto &e : v)
+        if (e == s)
+            return true;
+    return false;
+}
+
+/** A mix cell runs >1 core (bench/common.hh labels them "mix*"). */
+bool
+isMix(const Cell &c)
+{
+    return c.core_ipcs.size() > 1 ||
+           c.workload.rfind("mix", 0) == 0;
+}
+
+/**
+ * SPEC-like labels start with the benchmark number ("429.mcf");
+ * mix labels are classified by their first component
+ * ("mix0(403.gcc+...)"). Everything else counts as CloudSuite.
+ */
+bool
+isSpecLike(const std::string &workload)
+{
+    std::string w = workload;
+    if (const auto paren = w.find('(');
+        w.rfind("mix", 0) == 0 && paren != std::string::npos)
+        w = w.substr(paren + 1);
+    return !w.empty() &&
+           std::isdigit(static_cast<unsigned char>(w[0])) != 0;
+}
+
+const Cell *
+find(const std::vector<Cell> &cells, const std::string &workload,
+     const std::string &policy)
+{
+    for (const auto &c : cells)
+        if (c.workload == workload && c.policy == policy)
+            return &c;
+    return nullptr;
+}
+
+/** Geomean of the collected ratios as a % gain; NaN when empty. */
+double
+geomeanPct(const std::vector<double> &ratios)
+{
+    if (ratios.empty())
+        return kNan;
+    return 100.0 * (stats::geomean(ratios) - 1.0);
+}
+
+/**
+ * Overall geomean IPC speedup (%) of @p policy over LRU across
+ * the single-core @p workloads (skipping pairs with a missing or
+ * failed cell, as the fault-isolated sweeps allow).
+ */
+double
+overallSpeedup(const std::vector<Cell> &cells,
+               const std::vector<std::string> &workloads,
+               const std::string &policy)
+{
+    std::vector<double> ratios;
+    for (const auto &w : workloads) {
+        const Cell *base = find(cells, w, "LRU");
+        const Cell *cell = find(cells, w, policy);
+        if (!base || !cell || !base->ok() || !cell->ok())
+            continue;
+        if (!(base->ipc > 0.0) || !std::isfinite(cell->ipc))
+            continue;
+        ratios.push_back(stats::speedup(cell->ipc, base->ipc));
+    }
+    return geomeanPct(ratios);
+}
+
+/**
+ * Weighted speedup of one mix cell over its LRU baseline: the
+ * geomean of per-core IPC ratios (RunResult::speedupOver), as a
+ * % gain. NaN when either cell is missing/failed or the core
+ * counts disagree.
+ */
+double
+mixSpeedup(const std::vector<Cell> &cells,
+           const std::string &mix, const std::string &policy)
+{
+    const Cell *base = find(cells, mix, "LRU");
+    const Cell *cell = find(cells, mix, policy);
+    if (!base || !cell || !base->ok() || !cell->ok())
+        return kNan;
+    if (base->core_ipcs.size() != cell->core_ipcs.size() ||
+        base->core_ipcs.empty())
+        return kNan;
+    std::vector<double> ratios;
+    for (size_t i = 0; i < base->core_ipcs.size(); ++i) {
+        if (!(base->core_ipcs[i] > 0.0))
+            return kNan;
+        ratios.push_back(stats::speedup(cell->core_ipcs[i],
+                                        base->core_ipcs[i]));
+    }
+    return geomeanPct(ratios);
+}
+
+/** One Table-IV-style subsection: Measured | Paper | Δ. */
+void
+table4Section(std::string &out, const std::string &heading,
+              const std::vector<std::string> &policies,
+              const std::vector<double> &measured,
+              const std::vector<double> &expected)
+{
+    out += "### " + heading + "\n\n";
+    std::vector<std::vector<std::string>> rows;
+    for (size_t i = 0; i < policies.size(); ++i) {
+        rows.push_back({policies[i], fmt(measured[i]),
+                        fmt(expected[i]),
+                        fmtDelta(measured[i], expected[i])});
+    }
+    out += mdTable({"Policy", "Measured %", "Paper %", "Δ (pp)"},
+                   rows);
+    out += "\n";
+}
+
+} // namespace
+
+std::string
+generateReport(const std::string &sweep_json,
+               const ReportOptions &opts)
+{
+    const std::vector<Cell> cells = parseCells(sweep_json);
+
+    // First-appearance orders keep the report deterministic and
+    // aligned with the sweep's own iteration order.
+    std::vector<std::string> policies;
+    std::vector<std::string> singles;
+    std::vector<std::string> mixes;
+    size_t n_failed = 0;
+    uint64_t total_instructions = 0;
+    for (const auto &c : cells) {
+        noteOrder(policies, c.policy);
+        noteOrder(isMix(c) ? mixes : singles, c.workload);
+        if (!c.ok())
+            ++n_failed;
+        total_instructions += c.instructions;
+    }
+    std::vector<std::string> ranked; // policies minus the baseline
+    for (const auto &p : policies)
+        if (p != "LRU")
+            ranked.push_back(p);
+    const bool have_lru = contains(policies, "LRU");
+
+    std::vector<std::string> spec_singles, cloud_singles;
+    for (const auto &w : singles)
+        (isSpecLike(w) ? spec_singles : cloud_singles)
+            .push_back(w);
+    std::vector<std::string> spec_mixes, cloud_mixes;
+    for (const auto &m : mixes)
+        (isSpecLike(m) ? spec_mixes : cloud_mixes).push_back(m);
+
+    std::string out = "# " + opts.title + "\n\n";
+    if (!opts.source.empty())
+        out += util::format("Input: `{}`\n\n", opts.source);
+    out += "Generated by `tools/report` from a SweepRunner "
+           "`--json` export. Measured numbers come from the "
+           "sweep cells and their embedded stats-registry "
+           "snapshots; \"Paper\" columns are the published "
+           "values from the HPCA'21 paper (Table IV speedups, "
+           "Table I overheads). Δ is measured − paper in "
+           "percentage points. An em dash marks missing data "
+           "(failed cell, absent policy, or no LRU baseline).\n\n";
+
+    // --- Input summary ------------------------------------------
+    out += "## Input summary\n\n";
+    out += util::format(
+        "- Sweep cells: {} ({} ok, {} failed)\n", cells.size(),
+        cells.size() - n_failed, n_failed);
+    out += util::format(
+        "- Single-core workloads: {} ({} SPEC-like, {} "
+        "CloudSuite-like)\n",
+        singles.size(), spec_singles.size(),
+        cloud_singles.size());
+    out += util::format("- Multicore mixes: {}\n", mixes.size());
+    std::string policy_list;
+    for (const auto &p : policies) {
+        if (!policy_list.empty())
+            policy_list += ", ";
+        policy_list += p;
+    }
+    out += util::format("- Policies: {}\n", policy_list);
+    out += util::format("- Simulated instructions (measured): {}\n",
+                        total_instructions);
+    if (!have_lru)
+        out += "- **No LRU cells in the input** — every "
+               "speedup-over-LRU section below is empty.\n";
+    out += "\n";
+
+    // --- Table IV -----------------------------------------------
+    out += "## Table IV — overall IPC speedup over LRU (%)\n\n";
+    out += "Geometric mean across the workloads of each class; "
+           "the paper's Table IV reports the same statistic over "
+           "full SPEC2006/CloudSuite runs, so expect deltas from "
+           "this reproduction's synthetic workloads and shorter "
+           "runs.\n\n";
+    auto measured_for =
+        [&](const std::vector<std::string> &workloads,
+            bool multicore) {
+            std::vector<double> m;
+            for (const auto &p : ranked) {
+                if (!multicore) {
+                    m.push_back(
+                        overallSpeedup(cells, workloads, p));
+                } else {
+                    std::vector<double> ratios;
+                    for (const auto &mix : workloads) {
+                        const double s = mixSpeedup(cells, mix, p);
+                        if (std::isfinite(s))
+                            ratios.push_back(1.0 + s / 100.0);
+                    }
+                    m.push_back(geomeanPct(ratios));
+                }
+            }
+            return m;
+        };
+    auto expected_for = [&](double PaperRow::*column) {
+        std::vector<double> e;
+        for (const auto &p : ranked) {
+            const PaperRow *r = paperRow(p);
+            e.push_back(r ? r->*column : kNan);
+        }
+        return e;
+    };
+    if (!spec_singles.empty())
+        table4Section(out, "1-core SPEC2006", ranked,
+                      measured_for(spec_singles, false),
+                      expected_for(&PaperRow::spec1));
+    if (!cloud_singles.empty())
+        table4Section(out, "1-core CloudSuite", ranked,
+                      measured_for(cloud_singles, false),
+                      expected_for(&PaperRow::cloud1));
+    if (!spec_mixes.empty())
+        table4Section(out, "4-core SPEC2006 mixes", ranked,
+                      measured_for(spec_mixes, true),
+                      expected_for(&PaperRow::spec4));
+    if (!cloud_mixes.empty())
+        table4Section(out, "4-core CloudSuite mixes", ranked,
+                      measured_for(cloud_mixes, true),
+                      expected_for(&PaperRow::cloud4));
+    if (spec_singles.empty() && cloud_singles.empty() &&
+        spec_mixes.empty() && cloud_mixes.empty())
+        out += "(no cells)\n\n";
+
+    // --- Fig 1 --------------------------------------------------
+    if (!singles.empty()) {
+        out += "## Fig. 1 — LLC demand hit rate (%)\n\n";
+        out += "The paper's Fig. 1 motivates learned "
+               "replacement with the gap between LRU and "
+               "Belady's OPT; when the sweep includes the "
+               "`Belady` policy its column is the upper "
+               "bound.\n\n";
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &w : singles) {
+            std::vector<std::string> row = {w};
+            for (const auto &p : policies) {
+                const Cell *c = find(cells, w, p);
+                row.push_back(
+                    c && c->ok() ? fmt(100.0 * c->hit_rate)
+                                 : "—");
+            }
+            rows.push_back(std::move(row));
+        }
+        std::vector<std::string> header = {"Workload"};
+        header.insert(header.end(), policies.begin(),
+                      policies.end());
+        out += mdTable(header, rows) + "\n";
+    }
+
+    // --- Fig 10 -------------------------------------------------
+    if (!singles.empty() && have_lru && !ranked.empty()) {
+        out += "## Fig. 10 — per-workload IPC speedup over LRU "
+               "(%)\n\n";
+        out += "Per-workload view behind the Table IV geomeans "
+               "(the paper's Figs. 10/11, one bar group per "
+               "benchmark).\n\n";
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &w : singles) {
+            const Cell *base = find(cells, w, "LRU");
+            std::vector<std::string> row = {w};
+            for (const auto &p : ranked) {
+                const Cell *c = find(cells, w, p);
+                double pct = kNan;
+                if (base && c && base->ok() && c->ok() &&
+                    base->ipc > 0.0) {
+                    pct = 100.0 * (stats::speedup(c->ipc,
+                                                  base->ipc) -
+                                   1.0);
+                }
+                row.push_back(fmt(pct));
+            }
+            rows.push_back(std::move(row));
+        }
+        std::vector<std::string> overall = {
+            "**Overall (geomean)**"};
+        for (const auto &p : ranked)
+            overall.push_back(
+                fmt(overallSpeedup(cells, singles, p)));
+        rows.push_back(std::move(overall));
+        std::vector<std::string> header = {"Workload"};
+        header.insert(header.end(), ranked.begin(),
+                      ranked.end());
+        out += mdTable(header, rows) + "\n";
+    }
+
+    // --- Fig 12 -------------------------------------------------
+    if (!singles.empty()) {
+        out += "## Fig. 12 — LLC demand MPKI\n\n";
+        out += "Misses per kilo-instruction, demand accesses "
+               "only (lower is better). The paper's Fig. 12 "
+               "shows RLR tracking the PC-based policies' MPKI "
+               "despite using no program counter.\n\n";
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &w : singles) {
+            std::vector<std::string> row = {w};
+            for (const auto &p : policies) {
+                const Cell *c = find(cells, w, p);
+                row.push_back(c && c->ok() ? fmt(c->mpki) : "—");
+            }
+            rows.push_back(std::move(row));
+        }
+        std::vector<std::string> header = {"Workload"};
+        header.insert(header.end(), policies.begin(),
+                      policies.end());
+        out += mdTable(header, rows) + "\n";
+    }
+
+    // --- Fig 13 -------------------------------------------------
+    if (!mixes.empty() && have_lru && !ranked.empty()) {
+        out += "## Fig. 13 — multicore weighted speedup over "
+               "LRU (%)\n\n";
+        out += "Weighted speedup of each 4-core mix: geomean of "
+               "per-core IPC ratios against the same mix under "
+               "LRU, computed from the per-core `cores` arrays "
+               "in the sweep export.\n\n";
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &m : mixes) {
+            std::vector<std::string> row = {"`" + m + "`"};
+            for (const auto &p : ranked)
+                row.push_back(fmt(mixSpeedup(cells, m, p)));
+            rows.push_back(std::move(row));
+        }
+        std::vector<std::string> overall = {
+            "**Overall (geomean)**"};
+        for (const auto &p : ranked) {
+            std::vector<double> ratios;
+            for (const auto &m : mixes) {
+                const double s = mixSpeedup(cells, m, p);
+                if (std::isfinite(s))
+                    ratios.push_back(1.0 + s / 100.0);
+            }
+            overall.push_back(fmt(geomeanPct(ratios)));
+        }
+        rows.push_back(std::move(overall));
+        std::vector<std::string> header = {"Mix"};
+        header.insert(header.end(), ranked.begin(),
+                      ranked.end());
+        out += mdTable(header, rows) + "\n";
+    }
+
+    // --- Storage overhead ---------------------------------------
+    {
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &p : policies) {
+            double measured = kNan;
+            for (const auto &c : cells) {
+                if (c.policy == p && c.ok() &&
+                    std::isfinite(c.overhead_kib)) {
+                    measured = c.overhead_kib;
+                    break;
+                }
+            }
+            const double expected = paperOverhead(p);
+            if (!std::isfinite(measured) &&
+                !std::isfinite(expected))
+                continue;
+            rows.push_back({p, fmt(measured),
+                            fmt(expected),
+                            fmtDelta(measured, expected)});
+        }
+        if (!rows.empty()) {
+            out += "## Table I — replacement-state overhead "
+                   "(KiB, 2MB/16-way LLC)\n\n";
+            out += "Measured from each cell's "
+                   "`llc.policy.overhead_kib` registry formula "
+                   "(the policy's own bit-accounting model); "
+                   "paper values from Table I.\n\n";
+            out += mdTable({"Policy", "Measured KiB",
+                            "Paper KiB", "Δ"},
+                           rows);
+            out += "\n";
+        }
+    }
+
+    // --- Failed cells -------------------------------------------
+    if (n_failed > 0) {
+        out += "## Failed cells\n\n";
+        std::vector<std::vector<std::string>> rows;
+        for (const auto &c : cells)
+            if (!c.ok())
+                rows.push_back({"`" + c.workload + "`", c.policy,
+                                c.error});
+        out += mdTable({"Workload", "Policy", "Error"}, rows);
+        out += "\n";
+    }
+
+    // --- Appendix -----------------------------------------------
+    out += "## Appendix — paper Table IV reference values\n\n";
+    out += "Overall geomean IPC speedup over LRU (%), as "
+           "published:\n\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const auto &r : kPaperTable4) {
+        rows.push_back({r.policy, fmt(r.spec1), fmt(r.cloud1),
+                        fmt(r.spec4), fmt(r.cloud4)});
+    }
+    out += mdTable({"Policy", "1-core SPEC2006",
+                    "1-core CloudSuite", "4-core SPEC2006",
+                    "4-core CloudSuite"},
+                   rows);
+    return out;
+}
+
+} // namespace rlr::tools

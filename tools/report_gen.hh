@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Report generator: turns a SweepRunner --json export (including
+ * the embedded per-cell stats::Registry snapshots) into a
+ * paper-fidelity REPORT.md scoreboard with Table-IV and
+ * Fig-1/10/12/13 style sections, each carrying the paper's
+ * published numbers as expected-value columns.
+ *
+ * Output is deterministic: no timestamps, fixed formatting, and
+ * row/column order follows first appearance in the input.
+ */
+
+#ifndef RLR_TOOLS_REPORT_GEN_HH
+#define RLR_TOOLS_REPORT_GEN_HH
+
+#include <string>
+
+namespace rlr::tools
+{
+
+/** Knobs for generateReport(). */
+struct ReportOptions
+{
+    /** H1 title of the report. */
+    std::string title = "RLR reproduction report";
+    /** Label of the input (e.g. the sweep JSON path); "" omits. */
+    std::string source;
+};
+
+/**
+ * Render a REPORT.md document from SweepRunner --json text.
+ * @throws std::runtime_error on malformed JSON or a root that is
+ *         not an array of sweep cells
+ */
+std::string generateReport(const std::string &sweep_json,
+                           const ReportOptions &opts = {});
+
+} // namespace rlr::tools
+
+#endif // RLR_TOOLS_REPORT_GEN_HH
