@@ -79,6 +79,10 @@ makeParser(const std::string &description)
     parser.addOption("inject-fail", "",
                      "Force sweep cell <workload>:<policy> to "
                      "throw (exercises the failure path)");
+    parser.addFlag("stable-json",
+                   "Zero wall-clock telemetry (runtime_s, mips) in "
+                   "JSON exports so same-seed runs are "
+                   "byte-identical");
     parser.addFlag("csv", "Emit CSV instead of aligned tables");
     parser.addFlag("progress",
                    "Live sweep progress line (done/total, ETA) on "
@@ -100,6 +104,7 @@ makeOptions(const util::ArgParser &parser)
     opt.threads = parser.getUint("threads");
     opt.sweep.threads = opt.threads;
     opt.sweep.progress = parser.getFlag("progress");
+    opt.sweep.stable_telemetry = parser.getFlag("stable-json");
     opt.json = parser.get("json");
     opt.inject_fail = parser.get("inject-fail");
     opt.csv = parser.getFlag("csv");

@@ -8,7 +8,9 @@
 #      CMakeLists defines;
 #   4. a shared bench flag (bench/common.hh) is absent from
 #      README.md;
-#   5. a required doc file is missing.
+#   5. a required doc file is missing;
+#   6. a fuzz_policies flag (tools/fuzz_policies.cc) is absent
+#      from docs/TESTING.md, or the test scripts are undocumented.
 #
 # Pure grep/sed over the sources: runs without a compiler, so it
 # can gate doc-only changes too. Run from the repository root.
@@ -24,7 +26,7 @@ err() {
 }
 
 for f in README.md docs/POLICIES.md docs/ARCHITECTURE.md \
-         EXPERIMENTS.md; do
+         docs/TESTING.md EXPERIMENTS.md; do
     [ -f "$f" ] || err "required doc '$f' is missing"
 done
 [ "$fail" -eq 0 ] || exit 1
@@ -76,6 +78,26 @@ for f in $flags; do
         err "shared bench flag '--$f' (bench/common.hh) is not" \
             "documented in README.md"
 done
+
+# --- 6. the verification harness is documented ----------------------
+# Every fuzz_policies CLI flag must appear in docs/TESTING.md, and
+# the test-infrastructure scripts must be referenced there.
+fuzz_flags=$(grep -o 'add\(Option\|Flag\)("[a-z-]*"' \
+                 tools/fuzz_policies.cc | sed 's/.*("//; s/"//')
+[ -n "$fuzz_flags" ] ||
+    err "could not extract flags from tools/fuzz_policies.cc"
+for f in $fuzz_flags; do
+    grep -q -- "--$f" docs/TESTING.md ||
+        err "fuzz_policies flag '--$f' is not documented in" \
+            "docs/TESTING.md"
+done
+for s in scripts/ci.sh scripts/update_golden.sh; do
+    grep -q "$s" docs/TESTING.md ||
+        err "'$s' is not referenced in docs/TESTING.md"
+done
+grep -q "RLR_VERIFY" docs/TESTING.md ||
+    err "the RLR_VERIFY invariant toggle is not documented in" \
+        "docs/TESTING.md"
 
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED (see messages above)" >&2

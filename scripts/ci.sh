@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Full CI pipeline: the tier-1 build + test pass in Release, then
+# the same test suite rebuilt with AddressSanitizer + UBSan
+# (-DRLR_SANITIZE=address,undefined, recovery disabled so any
+# report is fatal). Both stages must pass.
+#
+# Usage: scripts/ci.sh [-j N]
+#   -j N   parallel build/test jobs (default: nproc)
+
+set -eu
+
+cd "$(dirname "$0")/.." || exit 1
+
+jobs=$(nproc 2>/dev/null || echo 4)
+while getopts "j:" opt; do
+    case "$opt" in
+        j) jobs="$OPTARG" ;;
+        *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    esac
+done
+
+run_stage() {
+    local label="$1" dir="$2"
+    shift 2
+    echo "=== ci: configure $label ($dir) ==="
+    cmake -B "$dir" -S . "$@"
+    echo "=== ci: build $label ==="
+    cmake --build "$dir" -j "$jobs"
+    echo "=== ci: test $label ==="
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_stage "release" build -DCMAKE_BUILD_TYPE=Release
+
+# Sanitizer stage: RelWithDebInfo keeps line numbers in reports
+# without debug-build slowness; halt_on_error via
+# -fno-sanitize-recover=all (set by the CMake option).
+ASAN_OPTIONS="detect_leaks=0" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+run_stage "asan+ubsan" build-san \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRLR_SANITIZE=address,undefined
+
+echo "=== ci: all stages passed ==="

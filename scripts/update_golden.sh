@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Regenerate tests/data/report_golden.md from the canned sweep
+# fixture with the report CLI, or (--check, wired into ctest as
+# `update_golden_check`) verify that regeneration is a no-op on a
+# clean tree — i.e. the committed golden matches what the current
+# report generator produces.
+#
+# Usage: scripts/update_golden.sh [--check] [--report-bin=PATH]
+#
+# The report binary defaults to build/tools/report. The generator
+# runs from tests/data so the report's "source" field stays the
+# bare "sweep_fixture.json" the golden (and test_report) expect.
+
+set -eu
+
+cd "$(dirname "$0")/.." || exit 1
+
+check=0
+report_bin="build/tools/report"
+for arg in "$@"; do
+    case "$arg" in
+        --check) check=1 ;;
+        --report-bin=*) report_bin="${arg#--report-bin=}" ;;
+        *)
+            echo "update_golden: unknown argument '$arg'" >&2
+            echo "usage: $0 [--check] [--report-bin=PATH]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+# Resolve to an absolute path before we cd into tests/data.
+case "$report_bin" in
+    /*) ;;
+    *) report_bin="$PWD/$report_bin" ;;
+esac
+if [ ! -x "$report_bin" ]; then
+    echo "update_golden: report binary '$report_bin' not found;" \
+         "build first (cmake --build build) or pass" \
+         "--report-bin=PATH" >&2
+    exit 2
+fi
+
+cd tests/data || exit 1
+golden="report_golden.md"
+[ -f "$golden" ] || {
+    echo "update_golden: $golden missing" >&2
+    exit 2
+}
+
+if [ "$check" -eq 1 ]; then
+    out=$(mktemp)
+    trap 'rm -f "$out"' EXIT
+    "$report_bin" --from sweep_fixture.json --out "$out" \
+        --title "Golden sweep report"
+    if ! diff -u "$golden" "$out"; then
+        echo "update_golden: $golden is stale; run" \
+             "scripts/update_golden.sh to regenerate" >&2
+        exit 1
+    fi
+    echo "update_golden: $golden is up to date"
+else
+    "$report_bin" --from sweep_fixture.json --out "$golden" \
+        --title "Golden sweep report"
+    echo "update_golden: regenerated tests/data/$golden"
+fi

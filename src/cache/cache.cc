@@ -1,6 +1,8 @@
 #include "cache/cache.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "util/logging.hh"
@@ -17,13 +19,20 @@ typeKey(trace::AccessType type, const char *suffix)
     return std::string(trace::accessTypeName(type)) + "_" + suffix;
 }
 
+bool
+verifyEnvDefault()
+{
+    const char *v = std::getenv("RLR_VERIFY");
+    return v != nullptr && std::string_view(v) != "0";
+}
+
 } // namespace
 
 Cache::Cache(CacheGeometry geom,
              std::unique_ptr<ReplacementPolicy> policy,
              MemoryLevel *next)
     : geom_(std::move(geom)), policy_(std::move(policy)),
-      next_(next), stats_(geom_.name)
+      next_(next), verify_(verifyEnvDefault()), stats_(geom_.name)
 {
     geom_.validate();
     util::ensure(policy_ != nullptr, "Cache: null policy");
@@ -164,6 +173,8 @@ Cache::access(const MemRequest &req, uint64_t now)
         policy_->onAccess(ctx);
         if (demand)
             runPrefetcher(req, true, now);
+        if (verify_)
+            runVerify(set);
         return now;
     }
 
@@ -174,6 +185,8 @@ Cache::access(const MemRequest &req, uint64_t now)
         // Write-allocate on writeback: the entire line is being
         // written, so no fetch from the next level is required.
         fill(req, now, /*dirty=*/true);
+        if (verify_)
+            runVerify(set);
         return now;
     }
 
@@ -198,6 +211,8 @@ Cache::access(const MemRequest &req, uint64_t now)
 
     if (demand)
         runPrefetcher(req, false, now);
+    if (verify_)
+        runVerify(set);
     return ready;
 }
 
@@ -278,6 +293,18 @@ Cache::fill(const MemRequest &req, uint64_t ready, bool dirty)
     ctx.hit = false;
     policy_->onAccess(ctx);
     return true;
+}
+
+void
+Cache::runVerify(uint32_t set) const
+{
+    const auto views = setContents(set);
+    policy_->verifyInvariants(set, views);
+    const std::string err = stats::accessConsistencyError(stats_);
+    if (!err.empty()) {
+        throw std::logic_error("cache '" + geom_.name +
+                               "' stats: " + err);
+    }
 }
 
 bool

@@ -59,6 +59,18 @@ class Cache : public MemoryLevel
     void setAccessSink(AccessSink sink) { sink_ = std::move(sink); }
 
     /**
+     * Arm (or disarm) per-access invariant checking: after every
+     * access the replacement policy's verifyInvariants hook runs on
+     * the touched set and the per-type access counters are checked
+     * for hit+miss == accesses consistency; violations throw
+     * std::logic_error. Defaults to the RLR_VERIFY environment
+     * variable (set and not "0"). Debug/fuzzing aid — adds O(ways)
+     * work per access.
+     */
+    void setVerifyInvariants(bool v) { verify_ = v; }
+    bool verifyingInvariants() const { return verify_; }
+
+    /**
      * Minimum prefetch confidence required to install a prefetch
      * fill at THIS level. Lower-confidence prefetched data still
      * flows to the requester and fills levels below (KPC-style
@@ -133,6 +145,9 @@ class Cache : public MemoryLevel
     /** Enforce MSHR capacity; may advance @p now. */
     uint64_t reserveMshr(uint64_t now, uint64_t ready);
 
+    /** Run the armed invariant checks on @p set (throws). */
+    void runVerify(uint32_t set) const;
+
     /** Let the prefetcher react to a demand access. */
     void runPrefetcher(const MemRequest &req, bool hit,
                        uint64_t now);
@@ -146,6 +161,8 @@ class Cache : public MemoryLevel
     AccessSink sink_;
     bool writes_on_rfo_ = false;
     float pf_fill_threshold_ = 0.0f;
+    /** Invariant checking armed (RLR_VERIFY / fuzz harness). */
+    bool verify_ = false;
 
     std::vector<Block> blocks_;
     /** Data-ready cycles of in-flight misses (MSHR accounting). */

@@ -130,6 +130,24 @@ class ReplacementPolicy
     }
 
     /**
+     * Self-check hook for the verification harness: inspect the
+     * policy's metadata for @p set (declared bit widths respected,
+     * internal counters in range, consistency with the resident
+     * @p blocks) and throw std::logic_error on any violation.
+     * Called by the cache after every access to the set, but only
+     * when verification is armed (RLR_VERIFY=1 or
+     * Cache::setVerifyInvariants) — keep it cheap, it is still
+     * O(ways) per access. Default: no checks.
+     */
+    virtual void
+    verifyInvariants(uint32_t set,
+                     std::span<const BlockView> blocks) const
+    {
+        (void)set;
+        (void)blocks;
+    }
+
+    /**
      * Mount policy-specific statistics (learned parameters,
      * predictor state, training counters) under @p prefix in the
      * registry. The owning cache registers the shared entries

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 #include "util/bits.hh"
 #include "util/format.hh"
@@ -45,6 +46,7 @@ RlrPolicy::RlrPolicy(RlrConfig config) : config_(config)
                  "counter (1..8)");
     util::ensure(util::isPowerOfTwo(config_.rd_update_hits),
                  "RLR: rd_update_hits must be a power of two");
+    util::ensure(config_.num_cores >= 1, "RLR: zero cores");
     age_max_ = (1u << config_.age_bits) - 1;
     hit_max_ = (1u << config_.hit_bits) - 1;
 }
@@ -276,6 +278,47 @@ RlrPolicy::onAccess(const cache::AccessContext &ctx)
     ls.last_was_prefetch = ctx.type == trace::AccessType::Prefetch;
     ls.last_use = ++clock_;
     ls.cpu = ctx.cpu;
+}
+
+void
+RlrPolicy::verifyInvariants(
+    uint32_t set, std::span<const cache::BlockView> blocks) const
+{
+    (void)blocks;
+    if (rd_ < 1)
+        throw std::logic_error("RLR: predicted reuse distance 0");
+    if (preuse_samples_ >= config_.rd_update_hits) {
+        throw std::logic_error(util::format(
+            "RLR: {} pending preuse samples, update due at {}",
+            preuse_samples_, config_.rd_update_hits));
+    }
+    if (config_.optimized &&
+        set_miss_ctr_[set] >= config_.age_tick_misses) {
+        throw std::logic_error(util::format(
+            "RLR: set {} miss counter {} outside tick period {}",
+            set, set_miss_ctr_[set], config_.age_tick_misses));
+    }
+    for (uint32_t w = 0; w < ways_; ++w) {
+        const LineState &ls = line(set, w);
+        if (ls.age > age_max_) {
+            throw std::logic_error(util::format(
+                "RLR: age {} of set {} way {} exceeds the {}-bit "
+                "maximum {}",
+                ls.age, set, w, config_.age_bits, age_max_));
+        }
+        if (ls.hits > hit_max_) {
+            throw std::logic_error(util::format(
+                "RLR: hit count {} of set {} way {} exceeds the "
+                "{}-bit maximum {}",
+                ls.hits, set, w, config_.hit_bits, hit_max_));
+        }
+        if (ls.last_use > clock_) {
+            throw std::logic_error(util::format(
+                "RLR: last_use {} of set {} way {} ahead of "
+                "clock {}",
+                ls.last_use, set, w, clock_));
+        }
+    }
 }
 
 std::string

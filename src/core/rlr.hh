@@ -97,6 +97,9 @@ class RlrPolicy : public cache::ReplacementPolicy
     findVictim(const cache::AccessContext &ctx,
                std::span<const cache::BlockView> blocks) override;
     void onAccess(const cache::AccessContext &ctx) override;
+    void verifyInvariants(
+        uint32_t set,
+        std::span<const cache::BlockView> blocks) const override;
     std::string name() const override;
     cache::StorageOverhead overhead() const override;
     void describeStats(stats::Registry &reg,

@@ -10,6 +10,18 @@ namespace rlr::policies
 
 HawkeyePolicy::HawkeyePolicy(HawkeyeConfig config) : config_(config)
 {
+    util::ensure(config_.rrpv_bits >= 1 && config_.rrpv_bits <= 8,
+                 "Hawkeye: bad RRPV width");
+    util::ensure(config_.sampled_sets >= 1,
+                 "Hawkeye: need at least one sampled set");
+    util::ensure(config_.history_factor >= 1,
+                 "Hawkeye: zero OPTgen history window");
+    util::ensure(config_.predictor_bits >= 1 &&
+                     config_.predictor_bits <= 24,
+                 "Hawkeye: bad predictor index width");
+    util::ensure(config_.counter_bits >= 1 &&
+                     config_.counter_bits <= 8,
+                 "Hawkeye: bad predictor counter width");
     max_rrpv_ =
         static_cast<uint8_t>((1u << config_.rrpv_bits) - 1);
 }

@@ -8,6 +8,8 @@ namespace rlr::policies
 KpcRPolicy::KpcRPolicy(unsigned rrpv_bits, uint32_t leader_sets)
     : RripBase(rrpv_bits), leader_sets_(leader_sets)
 {
+    util::ensure(leader_sets_ >= 1,
+                 "KPC-R: need at least one leader set");
 }
 
 void

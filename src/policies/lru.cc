@@ -1,6 +1,9 @@
 #include "policies/lru.hh"
 
+#include <stdexcept>
+
 #include "util/bits.hh"
+#include "util/format.hh"
 
 namespace rlr::policies
 {
@@ -35,6 +38,22 @@ LruPolicy::onAccess(const cache::AccessContext &ctx)
 {
     last_use_[static_cast<size_t>(ctx.set) * ways_ + ctx.way] =
         ++clock_;
+}
+
+void
+LruPolicy::verifyInvariants(
+    uint32_t set, std::span<const cache::BlockView> blocks) const
+{
+    (void)blocks;
+    const size_t base = static_cast<size_t>(set) * ways_;
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (last_use_[base + w] > clock_) {
+            throw std::logic_error(util::format(
+                "LRU: last_use {} of set {} way {} ahead of "
+                "clock {}",
+                last_use_[base + w], set, w, clock_));
+        }
+    }
 }
 
 cache::StorageOverhead

@@ -24,6 +24,9 @@ class LruPolicy : public cache::ReplacementPolicy
     findVictim(const cache::AccessContext &ctx,
                std::span<const cache::BlockView> blocks) override;
     void onAccess(const cache::AccessContext &ctx) override;
+    void verifyInvariants(
+        uint32_t set,
+        std::span<const cache::BlockView> blocks) const override;
     std::string name() const override { return "LRU"; }
     cache::StorageOverhead overhead() const override;
 

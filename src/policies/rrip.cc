@@ -1,5 +1,8 @@
 #include "policies/rrip.hh"
 
+#include <stdexcept>
+
+#include "util/format.hh"
 #include "util/logging.hh"
 
 namespace rlr::policies
@@ -63,6 +66,22 @@ RripBase::onAccess(const cache::AccessContext &ctx)
     }
 }
 
+void
+RripBase::verifyInvariants(
+    uint32_t set, std::span<const cache::BlockView> blocks) const
+{
+    (void)blocks;
+    const size_t base = static_cast<size_t>(set) * ways_;
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (rrpv_[base + w] > max_rrpv_) {
+            throw std::logic_error(util::format(
+                "RRIP: RRPV {} of set {} way {} exceeds the "
+                "{}-bit maximum {}",
+                rrpv_[base + w], set, w, rrpv_bits_, max_rrpv_));
+        }
+    }
+}
+
 SrripPolicy::SrripPolicy(unsigned rrpv_bits) : RripBase(rrpv_bits) {}
 
 uint8_t
@@ -108,6 +127,8 @@ DrripPolicy::DrripPolicy(unsigned rrpv_bits, uint32_t leader_sets,
                          uint64_t seed)
     : RripBase(rrpv_bits), leader_sets_(leader_sets), rng_(seed)
 {
+    util::ensure(leader_sets_ >= 1,
+                 "DRRIP: need at least one leader set per policy");
 }
 
 void

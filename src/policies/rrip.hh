@@ -33,6 +33,9 @@ class RripBase : public cache::ReplacementPolicy
     findVictim(const cache::AccessContext &ctx,
                std::span<const cache::BlockView> blocks) override;
     void onAccess(const cache::AccessContext &ctx) override;
+    void verifyInvariants(
+        uint32_t set,
+        std::span<const cache::BlockView> blocks) const override;
 
     /** RRPV of a way (tests). */
     uint8_t rrpv(uint32_t set, uint32_t way) const;

@@ -1,6 +1,9 @@
 #include "policies/ship.hh"
 
+#include <stdexcept>
+
 #include "util/bits.hh"
+#include "util/format.hh"
 #include "util/logging.hh"
 
 namespace rlr::policies
@@ -8,6 +11,13 @@ namespace rlr::policies
 
 ShipPolicy::ShipPolicy(ShipConfig config) : config_(config)
 {
+    util::ensure(config_.rrpv_bits >= 1 && config_.rrpv_bits <= 8,
+                 "SHiP: bad RRPV width");
+    util::ensure(config_.signature_bits >= 1 &&
+                     config_.signature_bits <= 24,
+                 "SHiP: bad signature width");
+    util::ensure(config_.shct_bits >= 1 && config_.shct_bits <= 8,
+                 "SHiP: bad SHCT counter width");
     max_rrpv_ =
         static_cast<uint8_t>((1u << config_.rrpv_bits) - 1);
 }
@@ -121,6 +131,36 @@ ShipPolicy::onEviction(uint32_t set, uint32_t way,
     if (!ls.outcome) {
         // Dead line: its signature produced no re-reference.
         --shct_[ls.signature];
+    }
+}
+
+void
+ShipPolicy::verifyInvariants(
+    uint32_t set, std::span<const cache::BlockView> blocks) const
+{
+    (void)blocks;
+    const size_t base = static_cast<size_t>(set) * ways_;
+    const uint32_t sig_limit = 1u << config_.signature_bits;
+    for (uint32_t w = 0; w < ways_; ++w) {
+        const LineState &ls = lines_[base + w];
+        if (ls.rrpv > max_rrpv_) {
+            throw std::logic_error(util::format(
+                "SHiP: RRPV {} of set {} way {} exceeds the "
+                "{}-bit maximum {}",
+                ls.rrpv, set, w, config_.rrpv_bits, max_rrpv_));
+        }
+        if (ls.signature >= sig_limit) {
+            throw std::logic_error(util::format(
+                "SHiP: signature {} of set {} way {} outside the "
+                "{}-bit table",
+                ls.signature, set, w, config_.signature_bits));
+        }
+        const auto &ctr = shct_[ls.signature];
+        if (ctr.value() > ctr.maxValue()) {
+            throw std::logic_error(util::format(
+                "SHiP: SHCT[{}] = {} exceeds the {}-bit maximum",
+                ls.signature, ctr.value(), config_.shct_bits));
+        }
     }
 }
 

@@ -42,6 +42,9 @@ class ShipPolicy : public cache::ReplacementPolicy
     void onAccess(const cache::AccessContext &ctx) override;
     void onEviction(uint32_t set, uint32_t way,
                     const cache::BlockView &block) override;
+    void verifyInvariants(
+        uint32_t set,
+        std::span<const cache::BlockView> blocks) const override;
     std::string name() const override { return "SHiP"; }
     bool usesPc() const override { return true; }
     cache::StorageOverhead overhead() const override;

@@ -133,6 +133,13 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
 
     if (opts_.progress)
         std::fputc('\n', stderr);
+    if (opts_.stable_telemetry) {
+        // Leave only seed-determined fields in the export.
+        for (auto &cell : cells) {
+            cell.wall_seconds = 0.0;
+            cell.mips = 0.0;
+        }
+    }
     if (!opts_.json_path.empty())
         writeJson(opts_.json_path, cells);
     return cells;

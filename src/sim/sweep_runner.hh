@@ -44,6 +44,12 @@ struct SweepOptions
     bool progress = false;
     /** When non-empty, write a JSON export here after the run. */
     std::string json_path;
+    /**
+     * Zero the wall-clock telemetry (runtime_s, mips) on every
+     * cell so exports are byte-identical across runs of the same
+     * seed (reproducibility checks, golden files).
+     */
+    bool stable_telemetry = false;
 };
 
 /** Fault-isolated parallel (workload x policy) experiment engine. */

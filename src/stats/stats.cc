@@ -82,6 +82,24 @@ RunningStat::stddev() const
     return std::sqrt(variance());
 }
 
+std::string
+accessConsistencyError(const StatSet &set)
+{
+    static const char *kTypes[] = {"LD", "RFO", "PF", "WB"};
+    for (const char *t : kTypes) {
+        const std::string type(t);
+        const uint64_t accesses = set.value(type + "_access");
+        const uint64_t hits = set.value(type + "_hit");
+        const uint64_t misses = set.value(type + "_miss");
+        if (hits + misses != accesses) {
+            return util::format(
+                "{}_hit ({}) + {}_miss ({}) != {}_access ({})",
+                type, hits, type, misses, type, accesses);
+        }
+    }
+    return "";
+}
+
 double
 safeDiv(double a, double b)
 {

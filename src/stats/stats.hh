@@ -80,6 +80,15 @@ class RunningStat
     double max_ = 0.0;
 };
 
+/**
+ * Internal-consistency check over a cache StatSet's per-type access
+ * counters: for each type T in {LD, RFO, PF, WB},
+ * T_hit + T_miss == T_access must hold.
+ * @return "" when consistent, else a description of the first
+ *         violated identity
+ */
+std::string accessConsistencyError(const StatSet &set);
+
 /** @return a/b, or 0 when b == 0. */
 double safeDiv(double a, double b);
 

@@ -1,0 +1,80 @@
+#include "verify/ref_cache.hh"
+
+#include "cache/geometry.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rlr::verify
+{
+
+RefCache::RefCache(uint32_t sets, uint32_t ways,
+                   std::unique_ptr<RefPolicy> policy)
+    : sets_(sets), ways_(ways), policy_(std::move(policy))
+{
+    util::ensure(util::isPowerOfTwo(sets_),
+                 "RefCache: sets must be a power of two");
+    util::ensure(ways_ >= 1, "RefCache: zero ways");
+    util::ensure(policy_ != nullptr, "RefCache: null policy");
+    set_bits_ = util::floorLog2(sets_);
+    lines_.assign(sets_, std::vector<RefLine>(ways_));
+    policy_->reset(sets_, ways_);
+}
+
+uint32_t
+RefCache::setIndex(uint64_t line) const
+{
+    return static_cast<uint32_t>((line >> cache::kLineBits) &
+                                 util::mask(set_bits_));
+}
+
+const std::vector<RefLine> &
+RefCache::setLines(uint32_t set) const
+{
+    return lines_[set];
+}
+
+RefOutcome
+RefCache::access(const RefAccess &access)
+{
+    const uint32_t set = setIndex(access.line);
+    std::vector<RefLine> &ways = lines_[set];
+
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (ways[w].valid && ways[w].line == access.line) {
+            ++hits_;
+            policy_->touch(access, set, w, /*hit=*/true);
+            return RefOutcome{true, w, false};
+        }
+    }
+
+    // Miss: fill. Invalid ways fill in way order without
+    // consulting the policy, exactly like cache::Cache::fill().
+    ++misses_;
+    uint32_t way = ways_;
+    for (uint32_t w = 0; w < ways_; ++w) {
+        if (!ways[w].valid) {
+            way = w;
+            break;
+        }
+    }
+
+    if (way == ways_) {
+        way = policy_->victim(access, set, ways);
+        if (way == RefPolicy::kBypass) {
+            if (access.type != trace::AccessType::Writeback)
+                return RefOutcome{false, 0, true};
+            // Writebacks cannot be bypassed; fall back to way 0.
+            way = 0;
+        }
+        util::ensure(way < ways_, "RefCache: bad victim way");
+        if (ways[way].valid)
+            policy_->evicted(set, way);
+    }
+
+    ways[way].valid = true;
+    ways[way].line = access.line;
+    policy_->touch(access, set, way, /*hit=*/false);
+    return RefOutcome{false, way, false};
+}
+
+} // namespace rlr::verify

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Executable reference model of the production cache's replacement
+ * behaviour (CacheQuery-style trace equivalence checking).
+ *
+ * RefCache is a tag-only set-associative cache that mirrors the
+ * fill/eviction/bypass protocol of cache::Cache exactly — invalid
+ * ways fill in way order, the policy chooses victims only for full
+ * sets, writeback misses write-allocate, bypass is honoured for
+ * non-writeback fills only — but carries no timing, MSHRs,
+ * prefetchers, or statistics. Policies plug in through the minimal
+ * RefPolicy interface and deliberately share no code with
+ * src/policies/: each reference model is a small, independently
+ * written re-implementation that the differential harness
+ * (verify/differential.hh) replays side by side with the
+ * production stack.
+ */
+
+#ifndef RLR_VERIFY_REF_CACHE_HH
+#define RLR_VERIFY_REF_CACHE_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace rlr::verify
+{
+
+/** One access as seen by the reference model. */
+struct RefAccess
+{
+    /** Line-aligned byte address. */
+    uint64_t line = 0;
+    uint64_t pc = 0;
+    trace::AccessType type = trace::AccessType::Load;
+    uint8_t cpu = 0;
+    /** Trace position (index of this access), for Belady. */
+    uint64_t seq = 0;
+};
+
+/** Resident-line state exposed to reference policies. */
+struct RefLine
+{
+    bool valid = false;
+    uint64_t line = 0;
+};
+
+/** Minimal replacement-policy contract of the reference model. */
+class RefPolicy
+{
+  public:
+    /** Mirror of ReplacementPolicy::kBypass. */
+    static constexpr uint32_t kBypass =
+        std::numeric_limits<uint32_t>::max();
+
+    virtual ~RefPolicy() = default;
+
+    /** Size state for a (sets, ways) cache; called once. */
+    virtual void reset(uint32_t sets, uint32_t ways) = 0;
+
+    /**
+     * Choose a victim way for a fill into a full set, or kBypass.
+     * @p lines has one valid entry per way.
+     */
+    virtual uint32_t victim(const RefAccess &access, uint32_t set,
+                            const std::vector<RefLine> &lines) = 0;
+
+    /**
+     * Observe a hit or a completed fill at (set, way), mirroring
+     * ReplacementPolicy::onAccess.
+     */
+    virtual void touch(const RefAccess &access, uint32_t set,
+                       uint32_t way, bool hit) = 0;
+
+    /** Observe the eviction of a valid line (never for bypasses). */
+    virtual void
+    evicted(uint32_t set, uint32_t way)
+    {
+        (void)set;
+        (void)way;
+    }
+
+    virtual std::string name() const = 0;
+};
+
+/** Outcome of one RefCache access. */
+struct RefOutcome
+{
+    bool hit = false;
+    /** Way hit or filled; undefined when bypassed. */
+    uint32_t way = 0;
+    bool bypassed = false;
+};
+
+/** Tag-only reference cache driven by a RefPolicy. */
+class RefCache
+{
+  public:
+    /**
+     * @param sets power-of-two set count
+     * @param ways associativity (>= 1)
+     * @param policy reference policy (owned)
+     */
+    RefCache(uint32_t sets, uint32_t ways,
+             std::unique_ptr<RefPolicy> policy);
+
+    /** Replay one access; returns its hit/fill outcome. */
+    RefOutcome access(const RefAccess &access);
+
+    /** @return set index of a line-aligned address. */
+    uint32_t setIndex(uint64_t line) const;
+
+    /** Resident lines of @p set, indexed by way. */
+    const std::vector<RefLine> &setLines(uint32_t set) const;
+
+    uint32_t sets() const { return sets_; }
+    uint32_t ways() const { return ways_; }
+    RefPolicy &policy() { return *policy_; }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t accesses() const { return hits_ + misses_; }
+
+  private:
+    uint32_t sets_;
+    uint32_t ways_;
+    unsigned set_bits_;
+    std::unique_ptr<RefPolicy> policy_;
+    /** lines_[set] holds the set's ways. */
+    std::vector<std::vector<RefLine>> lines_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace rlr::verify
+
+#endif // RLR_VERIFY_REF_CACHE_HH

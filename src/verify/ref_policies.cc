@@ -1,0 +1,444 @@
+#include "verify/ref_policies.hh"
+
+#include <limits>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rlr::verify
+{
+
+// --- RefLru --------------------------------------------------------
+
+void
+RefLru::reset(uint32_t sets, uint32_t ways)
+{
+    ways_ = ways;
+    clock_ = 0;
+    last_use_.assign(sets, std::vector<uint64_t>(ways, 0));
+}
+
+uint32_t
+RefLru::victim(const RefAccess &access, uint32_t set,
+               const std::vector<RefLine> &lines)
+{
+    (void)access;
+    (void)lines;
+    uint32_t victim = 0;
+    for (uint32_t w = 1; w < ways_; ++w) {
+        if (last_use_[set][w] < last_use_[set][victim])
+            victim = w;
+    }
+    return victim;
+}
+
+void
+RefLru::touch(const RefAccess &access, uint32_t set, uint32_t way,
+              bool hit)
+{
+    (void)access;
+    (void)hit;
+    last_use_[set][way] = ++clock_;
+}
+
+// --- RefRrip -------------------------------------------------------
+
+RefRrip::RefRrip(RripMode mode, unsigned rrpv_bits, uint64_t seed,
+                 uint32_t leader_sets)
+    : mode_(mode),
+      max_rrpv_(static_cast<uint8_t>((1u << rrpv_bits) - 1)),
+      seed_(seed), leader_sets_(leader_sets), rng_(seed)
+{
+    util::ensure(rrpv_bits >= 1 && rrpv_bits <= 8,
+                 "RefRrip: bad RRPV width");
+}
+
+std::string
+RefRrip::name() const
+{
+    switch (mode_) {
+      case RripMode::Srrip:
+        return "ref-SRRIP";
+      case RripMode::Brrip:
+        return "ref-BRRIP";
+      case RripMode::Drrip:
+        return "ref-DRRIP";
+    }
+    return "ref-RRIP";
+}
+
+void
+RefRrip::reset(uint32_t sets, uint32_t ways)
+{
+    sets_ = sets;
+    ways_ = ways;
+    rng_ = util::Rng(seed_);
+    psel_ = util::SignedSatCounter(10, 0);
+    rrpv_.assign(sets, std::vector<uint8_t>(ways, max_rrpv_));
+}
+
+RefRrip::Role
+RefRrip::role(uint32_t set) const
+{
+    const uint32_t period = sets_ / leader_sets_;
+    if (set % period == 0)
+        return Role::SrripLeader;
+    if (set % period == 1)
+        return Role::BrripLeader;
+    return Role::Follower;
+}
+
+uint8_t
+RefRrip::insertion(uint32_t set)
+{
+    bool brrip = false;
+    switch (mode_) {
+      case RripMode::Srrip:
+        brrip = false;
+        break;
+      case RripMode::Brrip:
+        brrip = true;
+        break;
+      case RripMode::Drrip:
+        switch (role(set)) {
+          case Role::SrripLeader:
+            brrip = false;
+            break;
+          case Role::BrripLeader:
+            brrip = true;
+            break;
+          case Role::Follower:
+            brrip = psel_.value() < 0;
+            break;
+        }
+        break;
+    }
+    if (!brrip)
+        return static_cast<uint8_t>(max_rrpv_ - 1);
+    // Bimodal: 1-in-32 long re-reference insertion, else distant.
+    if (rng_.nextBounded(32) == 0)
+        return static_cast<uint8_t>(max_rrpv_ - 1);
+    return max_rrpv_;
+}
+
+uint32_t
+RefRrip::victim(const RefAccess &access, uint32_t set,
+                const std::vector<RefLine> &lines)
+{
+    (void)access;
+    (void)lines;
+    for (;;) {
+        for (uint32_t w = 0; w < ways_; ++w) {
+            if (rrpv_[set][w] >= max_rrpv_)
+                return w;
+        }
+        for (uint32_t w = 0; w < ways_; ++w)
+            ++rrpv_[set][w];
+    }
+}
+
+void
+RefRrip::touch(const RefAccess &access, uint32_t set, uint32_t way,
+               bool hit)
+{
+    (void)access;
+    if (!hit && mode_ == RripMode::Drrip) {
+        // Leader-set misses steer PSEL toward the other policy
+        // before the insertion position is chosen.
+        switch (role(set)) {
+          case Role::SrripLeader:
+            --psel_;
+            break;
+          case Role::BrripLeader:
+            ++psel_;
+            break;
+          case Role::Follower:
+            break;
+        }
+    }
+    if (hit)
+        rrpv_[set][way] = 0;
+    else
+        rrpv_[set][way] = insertion(set);
+}
+
+// --- RefShip -------------------------------------------------------
+
+RefShip::RefShip(unsigned rrpv_bits, unsigned signature_bits,
+                 unsigned shct_bits)
+    : rrpv_bits_(rrpv_bits), signature_bits_(signature_bits),
+      shct_bits_(shct_bits),
+      max_rrpv_(static_cast<uint8_t>((1u << rrpv_bits) - 1))
+{
+}
+
+void
+RefShip::reset(uint32_t sets, uint32_t ways)
+{
+    ways_ = ways;
+    Line init;
+    init.rrpv = max_rrpv_;
+    lines_.assign(sets, std::vector<Line>(ways, init));
+    shct_.assign(1ULL << signature_bits_,
+                 util::SatCounter(shct_bits_, 1));
+}
+
+uint32_t
+RefShip::signature(uint64_t pc, trace::AccessType type) const
+{
+    uint64_t key = pc >> 2;
+    if (type == trace::AccessType::Prefetch)
+        key ^= 0x2aaaaaaaaaaaULL;
+    return static_cast<uint32_t>(
+        util::foldXor(key, signature_bits_));
+}
+
+uint32_t
+RefShip::victim(const RefAccess &access, uint32_t set,
+                const std::vector<RefLine> &lines)
+{
+    (void)access;
+    (void)lines;
+    for (;;) {
+        for (uint32_t w = 0; w < ways_; ++w) {
+            if (lines_[set][w].rrpv >= max_rrpv_)
+                return w;
+        }
+        for (uint32_t w = 0; w < ways_; ++w)
+            ++lines_[set][w].rrpv;
+    }
+}
+
+void
+RefShip::touch(const RefAccess &access, uint32_t set, uint32_t way,
+               bool hit)
+{
+    Line &l = lines_[set][way];
+    if (hit) {
+        // Writeback hits carry no reuse signal.
+        if (access.type == trace::AccessType::Writeback)
+            return;
+        l.rrpv = 0;
+        if (!l.outcome) {
+            l.outcome = true;
+            ++shct_[l.signature];
+        }
+        return;
+    }
+    const uint32_t sig = signature(access.pc, access.type);
+    l.signature = sig;
+    l.outcome = false;
+    if (access.type == trace::AccessType::Writeback)
+        l.rrpv = max_rrpv_;
+    else if (shct_[sig].value() == 0)
+        l.rrpv = max_rrpv_;
+    else
+        l.rrpv = static_cast<uint8_t>(max_rrpv_ - 1);
+}
+
+void
+RefShip::evicted(uint32_t set, uint32_t way)
+{
+    Line &l = lines_[set][way];
+    if (!l.outcome)
+        --shct_[l.signature];
+}
+
+// --- RefRlr --------------------------------------------------------
+
+RefRlr::RefRlr(RefRlrParams params)
+    : params_(params), age_max_((1u << params.age_bits) - 1),
+      hit_max_((1u << params.hit_bits) - 1)
+{
+}
+
+void
+RefRlr::reset(uint32_t sets, uint32_t ways)
+{
+    ways_ = ways;
+    rd_ = 1;
+    preuse_accum_ = 0;
+    preuse_samples_ = 0;
+    clock_ = 0;
+    lines_.assign(sets, std::vector<Line>(ways));
+    set_miss_ctr_.assign(sets, 0);
+}
+
+uint64_t
+RefRlr::ageUnits(const Line &l) const
+{
+    return params_.optimized ? static_cast<uint64_t>(l.age) *
+                                   params_.age_tick_misses
+                             : l.age;
+}
+
+uint64_t
+RefRlr::priority(const Line &l) const
+{
+    uint64_t p =
+        params_.age_weight * (ageUnits(l) <= rd_ ? 1 : 0);
+    if (params_.use_type_priority && !l.last_was_prefetch)
+        p += 1;
+    if (params_.use_hit_priority)
+        p += std::min<uint32_t>(l.hits, hit_max_);
+    return p;
+}
+
+uint32_t
+RefRlr::victim(const RefAccess &access, uint32_t set,
+               const std::vector<RefLine> &lines)
+{
+    (void)lines;
+    if (params_.allow_bypass &&
+        access.type != trace::AccessType::Writeback) {
+        bool any_expired = false;
+        for (uint32_t w = 0; w < ways_; ++w) {
+            if (ageUnits(lines_[set][w]) > rd_) {
+                any_expired = true;
+                break;
+            }
+        }
+        if (!any_expired)
+            return kBypass;
+    }
+
+    uint32_t victim = 0;
+    uint64_t best = std::numeric_limits<uint64_t>::max();
+    for (uint32_t w = 0; w < ways_; ++w) {
+        const Line &l = lines_[set][w];
+        const uint64_t p = priority(l);
+        if (p < best) {
+            best = p;
+            victim = w;
+            continue;
+        }
+        if (p != best)
+            continue;
+        // Ties evict the most recently used line; the optimized
+        // variant approximates recency by the age counter.
+        const Line &cur = lines_[set][victim];
+        if (params_.optimized) {
+            if (l.age < cur.age)
+                victim = w;
+        } else {
+            if (l.last_use > cur.last_use)
+                victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+RefRlr::touch(const RefAccess &access, uint32_t set, uint32_t way,
+              bool hit)
+{
+    // Age the set first so the touched line's pre-access age is
+    // its preuse distance.
+    if (params_.optimized) {
+        if (!hit) {
+            uint8_t &ctr = set_miss_ctr_[set];
+            ctr = static_cast<uint8_t>(
+                (ctr + 1) % params_.age_tick_misses);
+            if (ctr == 0) {
+                for (Line &l : lines_[set]) {
+                    if (l.age < age_max_)
+                        ++l.age;
+                }
+            }
+        }
+    } else {
+        for (Line &l : lines_[set]) {
+            if (l.age < age_max_)
+                ++l.age;
+        }
+    }
+
+    Line &l = lines_[set][way];
+    if (hit) {
+        if (trace::isDemand(access.type)) {
+            const uint32_t sample =
+                params_.optimized
+                    ? l.age * params_.age_tick_misses +
+                          set_miss_ctr_[set]
+                    : l.age;
+            preuse_accum_ += sample;
+            if (++preuse_samples_ >= params_.rd_update_hits) {
+                rd_ = std::max<uint64_t>(
+                    1, params_.rd_multiplier * preuse_accum_ /
+                           params_.rd_update_hits);
+                preuse_accum_ = 0;
+                preuse_samples_ = 0;
+            }
+            if (l.hits < hit_max_)
+                ++l.hits;
+        }
+    } else {
+        l.hits = 0;
+    }
+    l.age = 0;
+    l.last_was_prefetch =
+        access.type == trace::AccessType::Prefetch;
+    l.last_use = ++clock_;
+}
+
+// --- RefBelady -----------------------------------------------------
+
+RefBelady::RefBelady(std::vector<uint64_t> trace_lines,
+                     bool allow_bypass)
+    : trace_lines_(std::move(trace_lines)),
+      allow_bypass_(allow_bypass)
+{
+}
+
+void
+RefBelady::reset(uint32_t sets, uint32_t ways)
+{
+    (void)sets;
+    (void)ways;
+}
+
+uint64_t
+RefBelady::nextUse(uint64_t line, uint64_t seq) const
+{
+    for (uint64_t i = seq + 1; i < trace_lines_.size(); ++i) {
+        if (trace_lines_[i] == line)
+            return i;
+    }
+    return std::numeric_limits<uint64_t>::max();
+}
+
+uint32_t
+RefBelady::victim(const RefAccess &access, uint32_t set,
+                  const std::vector<RefLine> &lines)
+{
+    (void)set;
+    uint32_t victim = 0;
+    uint64_t farthest = 0;
+    for (uint32_t w = 0; w < lines.size(); ++w) {
+        const uint64_t next = nextUse(lines[w].line, access.seq);
+        if (next >= farthest) {
+            farthest = next;
+            victim = w;
+        }
+    }
+    if (allow_bypass_ &&
+        access.type != trace::AccessType::Writeback &&
+        nextUse(access.line, access.seq) >= farthest) {
+        // Keeping every resident line is at least as good as
+        // caching a block reused even later.
+        return kBypass;
+    }
+    return victim;
+}
+
+void
+RefBelady::touch(const RefAccess &access, uint32_t set,
+                 uint32_t way, bool hit)
+{
+    (void)access;
+    (void)set;
+    (void)way;
+    (void)hit;
+}
+
+} // namespace rlr::verify

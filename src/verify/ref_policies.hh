@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Reference replacement models for the differential harness.
+ *
+ * Each class is a from-scratch, "obviously correct" transcription
+ * of the policy's published specification against the RefPolicy
+ * interface. None of them include or reuse code from
+ * src/policies/ or src/core/; only leaf utilities (util::Rng,
+ * util::SatCounter, util::foldXor) are shared, because bit-exact
+ * equivalence with the production stack requires agreeing on the
+ * PRNG stream and signature hash, and those primitives are
+ * unit-tested in isolation.
+ *
+ * RefBelady is the exception to "mirrors a production policy": it
+ * is a brute-force optimal (MIN) model over a fixed trace, used as
+ * the hit-rate upper bound in the fuzz invariants rather than as a
+ * differential twin.
+ */
+
+#ifndef RLR_VERIFY_REF_POLICIES_HH
+#define RLR_VERIFY_REF_POLICIES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/sat_counter.hh"
+#include "verify/ref_cache.hh"
+
+namespace rlr::verify
+{
+
+/** True LRU: global clock, per-line last-use timestamps. */
+class RefLru : public RefPolicy
+{
+  public:
+    void reset(uint32_t sets, uint32_t ways) override;
+    uint32_t victim(const RefAccess &access, uint32_t set,
+                    const std::vector<RefLine> &lines) override;
+    void touch(const RefAccess &access, uint32_t set, uint32_t way,
+               bool hit) override;
+    std::string name() const override { return "ref-LRU"; }
+
+  private:
+    uint32_t ways_ = 0;
+    uint64_t clock_ = 0;
+    std::vector<std::vector<uint64_t>> last_use_;
+};
+
+/** Insertion behaviour of the RRIP family. */
+enum class RripMode
+{
+    Srrip,
+    Brrip,
+    Drrip,
+};
+
+/**
+ * SRRIP / BRRIP / DRRIP (Jaleel et al., ISCA 2010). Victim = first
+ * way at max RRPV, ageing all lines until one qualifies; hits
+ * promote to RRPV 0; insertion depends on the mode (and, for
+ * DRRIP, on set-dueling between interleaved leader sets).
+ */
+class RefRrip : public RefPolicy
+{
+  public:
+    RefRrip(RripMode mode, unsigned rrpv_bits, uint64_t seed,
+            uint32_t leader_sets);
+
+    void reset(uint32_t sets, uint32_t ways) override;
+    uint32_t victim(const RefAccess &access, uint32_t set,
+                    const std::vector<RefLine> &lines) override;
+    void touch(const RefAccess &access, uint32_t set, uint32_t way,
+               bool hit) override;
+    std::string name() const override;
+
+  private:
+    enum class Role { SrripLeader, BrripLeader, Follower };
+    Role role(uint32_t set) const;
+    uint8_t insertion(uint32_t set);
+
+    RripMode mode_;
+    uint8_t max_rrpv_;
+    uint64_t seed_;
+    uint32_t leader_sets_;
+    uint32_t sets_ = 0;
+    uint32_t ways_ = 0;
+    util::Rng rng_;
+    util::SignedSatCounter psel_{10, 0};
+    std::vector<std::vector<uint8_t>> rrpv_;
+};
+
+/**
+ * SHiP (Wu et al., MICRO 2011): RRIP victim search plus a
+ * signature history counter table indexed by a folded PC hash that
+ * steers the insertion RRPV.
+ */
+class RefShip : public RefPolicy
+{
+  public:
+    RefShip(unsigned rrpv_bits, unsigned signature_bits,
+            unsigned shct_bits);
+
+    void reset(uint32_t sets, uint32_t ways) override;
+    uint32_t victim(const RefAccess &access, uint32_t set,
+                    const std::vector<RefLine> &lines) override;
+    void touch(const RefAccess &access, uint32_t set, uint32_t way,
+               bool hit) override;
+    void evicted(uint32_t set, uint32_t way) override;
+    std::string name() const override { return "ref-SHiP"; }
+
+  private:
+    struct Line
+    {
+        uint8_t rrpv = 0;
+        uint32_t signature = 0;
+        bool outcome = false;
+    };
+
+    uint32_t signature(uint64_t pc, trace::AccessType type) const;
+
+    unsigned rrpv_bits_;
+    unsigned signature_bits_;
+    unsigned shct_bits_;
+    uint8_t max_rrpv_;
+    uint32_t ways_ = 0;
+    std::vector<std::vector<Line>> lines_;
+    std::vector<util::SatCounter> shct_;
+};
+
+/** Knobs of the RLR reference model (mirror of core::RlrConfig). */
+struct RefRlrParams
+{
+    bool optimized = true;
+    unsigned age_bits = 2;
+    unsigned age_tick_misses = 8;
+    unsigned hit_bits = 1;
+    unsigned rd_update_hits = 32;
+    unsigned rd_multiplier = 4;
+    bool use_hit_priority = true;
+    bool use_type_priority = true;
+    unsigned age_weight = 8;
+    bool allow_bypass = false;
+};
+
+/**
+ * RLR priority math (paper Section IV): per-line age / hit / type
+ * state, a reuse distance predicted from demand-hit preuse
+ * samples, and victim = argmin of
+ *     P = age_weight * [age <= RD] + P_type + P_hit
+ * with ties broken toward the most recently used line.
+ */
+class RefRlr : public RefPolicy
+{
+  public:
+    explicit RefRlr(RefRlrParams params);
+
+    void reset(uint32_t sets, uint32_t ways) override;
+    uint32_t victim(const RefAccess &access, uint32_t set,
+                    const std::vector<RefLine> &lines) override;
+    void touch(const RefAccess &access, uint32_t set, uint32_t way,
+               bool hit) override;
+    std::string name() const override { return "ref-RLR"; }
+
+    uint64_t reuseDistance() const { return rd_; }
+
+  private:
+    struct Line
+    {
+        uint32_t age = 0;
+        uint32_t hits = 0;
+        bool last_was_prefetch = false;
+        uint64_t last_use = 0;
+    };
+
+    /** Age scaled to RD's set-miss/-access units. */
+    uint64_t ageUnits(const Line &l) const;
+    uint64_t priority(const Line &l) const;
+
+    RefRlrParams params_;
+    uint32_t age_max_;
+    uint32_t hit_max_;
+    uint32_t ways_ = 0;
+    uint64_t rd_ = 1;
+    uint64_t preuse_accum_ = 0;
+    unsigned preuse_samples_ = 0;
+    uint64_t clock_ = 0;
+    std::vector<std::vector<Line>> lines_;
+    std::vector<uint8_t> set_miss_ctr_;
+};
+
+/**
+ * Brute-force Belady MIN over a fixed trace: the victim is the
+ * resident line whose next use lies farthest in the future, found
+ * by scanning the remainder of the trace (O(n) per decision — for
+ * tiny caches and short traces only). With @p allow_bypass the
+ * incoming line is also a candidate: if its own next use is
+ * farthest, the fill is bypassed, which upper-bounds every
+ * bypass-capable policy too.
+ */
+class RefBelady : public RefPolicy
+{
+  public:
+    /** @param trace the full access stream (line addresses). */
+    RefBelady(std::vector<uint64_t> trace_lines, bool allow_bypass);
+
+    void reset(uint32_t sets, uint32_t ways) override;
+    uint32_t victim(const RefAccess &access, uint32_t set,
+                    const std::vector<RefLine> &lines) override;
+    void touch(const RefAccess &access, uint32_t set, uint32_t way,
+               bool hit) override;
+    std::string name() const override { return "ref-Belady"; }
+
+  private:
+    /** Position of the next use of @p line strictly after @p seq. */
+    uint64_t nextUse(uint64_t line, uint64_t seq) const;
+
+    std::vector<uint64_t> trace_lines_;
+    bool allow_bypass_;
+};
+
+} // namespace rlr::verify
+
+#endif // RLR_VERIFY_REF_POLICIES_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Death tests for constructor guards: every policy (and the
+ * verification harness itself) must reject out-of-range knobs
+ * loudly at construction time instead of corrupting metadata
+ * later. ensure()/panic() abort; fatal() exits with status 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "core/rlr.hh"
+#include "policies/eva.hh"
+#include "policies/glider.hh"
+#include "policies/hawkeye.hh"
+#include "policies/kpc_r.hh"
+#include "policies/lru.hh"
+#include "policies/mpppb.hh"
+#include "policies/pdp.hh"
+#include "policies/rrip.hh"
+#include "policies/ship.hh"
+#include "verify/differential.hh"
+#include "verify/ref_policies.hh"
+
+using namespace rlr;
+using namespace rlr::policies;
+
+TEST(PolicyGuards, RripRejectsBadRrpvWidth)
+{
+    EXPECT_DEATH({ SrripPolicy p(0); }, "bad RRPV width");
+    EXPECT_DEATH({ SrripPolicy p(9); }, "bad RRPV width");
+    EXPECT_DEATH({ BrripPolicy p(0); }, "bad RRPV width");
+    EXPECT_DEATH({ DrripPolicy p(9); }, "bad RRPV width");
+}
+
+TEST(PolicyGuards, DrripRejectsZeroLeaderSets)
+{
+    EXPECT_DEATH({ DrripPolicy p(2, 0); },
+                 "at least one leader set");
+}
+
+TEST(PolicyGuards, KpcRRejectsZeroLeaderSets)
+{
+    EXPECT_DEATH({ KpcRPolicy p(2, 0); },
+                 "at least one leader set");
+}
+
+TEST(PolicyGuards, ShipRejectsBadWidths)
+{
+    ShipConfig cfg;
+    cfg.rrpv_bits = 0;
+    EXPECT_DEATH({ ShipPolicy p(cfg); }, "bad RRPV width");
+    cfg = {};
+    cfg.signature_bits = 25;
+    EXPECT_DEATH({ ShipPolicy p(cfg); }, "bad signature width");
+    cfg = {};
+    cfg.shct_bits = 0;
+    EXPECT_DEATH({ ShipPolicy p(cfg); }, "bad SHCT counter width");
+}
+
+TEST(PolicyGuards, HawkeyeRejectsBadKnobs)
+{
+    HawkeyeConfig cfg;
+    cfg.rrpv_bits = 9;
+    EXPECT_DEATH({ HawkeyePolicy p(cfg); }, "bad RRPV width");
+    cfg = {};
+    cfg.sampled_sets = 0;
+    EXPECT_DEATH({ HawkeyePolicy p(cfg); },
+                 "at least one sampled set");
+    cfg = {};
+    cfg.history_factor = 0;
+    EXPECT_DEATH({ HawkeyePolicy p(cfg); }, "history window");
+    cfg = {};
+    cfg.predictor_bits = 25;
+    EXPECT_DEATH({ HawkeyePolicy p(cfg); },
+                 "bad predictor index width");
+    cfg = {};
+    cfg.counter_bits = 9;
+    EXPECT_DEATH({ HawkeyePolicy p(cfg); },
+                 "bad predictor counter width");
+}
+
+TEST(PolicyGuards, RlrRejectsBadKnobs)
+{
+    core::RlrConfig cfg;
+    cfg.age_bits = 0;
+    EXPECT_DEATH({ core::RlrPolicy p(cfg); }, "bad age_bits");
+    cfg = {};
+    cfg.rd_update_hits = 3;
+    EXPECT_DEATH({ core::RlrPolicy p(cfg); }, "power of two");
+    cfg = {};
+    cfg.num_cores = 0;
+    EXPECT_DEATH({ core::RlrPolicy p(cfg); }, "zero cores");
+}
+
+TEST(PolicyGuards, OtherBaselinesRejectDegenerateKnobs)
+{
+    EvaConfig eva;
+    eva.age_buckets = 1;
+    EXPECT_DEATH({ EvaPolicy p(eva); }, "too few buckets");
+    PdpConfig pdp;
+    pdp.max_pd = 4;
+    EXPECT_DEATH({ PdpPolicy p(pdp); }, "max_pd too small");
+    GliderConfig glider;
+    glider.isvm_entries = 6;
+    EXPECT_DEATH({ GliderPolicy p(glider); }, "power of two");
+    MpppbConfig mpppb;
+    mpppb.table_entries = 100;
+    EXPECT_DEATH({ MpppbPolicy p(mpppb); }, "power of two");
+}
+
+TEST(PolicyGuards, MutantPolicyRejectsBadWrapping)
+{
+    EXPECT_DEATH(
+        { verify::MutantPolicy m(nullptr, 3); }, "null inner");
+    EXPECT_DEATH(
+        {
+            verify::MutantPolicy m(
+                std::make_unique<LruPolicy>(), 0);
+        },
+        "period must be >= 1");
+}
+
+TEST(PolicyGuards, RefCacheRejectsBadGeometry)
+{
+    EXPECT_DEATH(
+        {
+            verify::RefCache c(
+                3, 2, std::make_unique<verify::RefLru>());
+        },
+        "power of two");
+    EXPECT_DEATH(
+        {
+            verify::RefCache c(
+                4, 0, std::make_unique<verify::RefLru>());
+        },
+        "zero ways");
+    EXPECT_DEATH({ verify::RefCache c(4, 2, nullptr); },
+                 "null policy");
+}
+
+namespace
+{
+
+class NullNext : public cache::MemoryLevel
+{
+  public:
+    uint64_t access(const cache::MemRequest &, uint64_t now) override
+    {
+        return now;
+    }
+    const std::string &name() const override
+    {
+        static const std::string n = "null";
+        return n;
+    }
+};
+
+} // namespace
+
+TEST(PolicyGuards, CacheRejectsMalformedGeometry)
+{
+    NullNext next;
+    cache::CacheGeometry geom;
+    geom.name = "bad";
+    geom.size_bytes = 5 * 1024; // not a power of two
+    geom.ways = 5;
+    EXPECT_EXIT(
+        {
+            cache::Cache c(geom,
+                           std::make_unique<LruPolicy>(), &next);
+        },
+        ::testing::ExitedWithCode(1), "malformed geometry");
+}

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Property-based fuzz driver over the verification harness
+ * (src/verify/): sweeps randomized (sets, ways, policy-knob)
+ * configurations under deterministic seeds and checks, per cell,
+ *
+ *  - differential equivalence: the production Cache + policy and
+ *    the independent reference model agree on every per-access
+ *    hit/miss outcome and on every victim choice (resident-set
+ *    equality), with the RLR_VERIFY invariant hooks armed so bit
+ *    widths and stats consistency are checked on every access;
+ *  - the Belady bound: no policy's hit count on a load-only trace
+ *    exceeds the brute-force optimal model's.
+ *
+ * On mismatch the failing trace is shrunk to a near-minimal
+ * reproducer and printed as a replayable seed + config. --mutate
+ * runs the mutation self-test instead: a deliberately corrupted
+ * policy must be caught (the run fails if it is NOT detected),
+ * proving the harness has teeth.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/args.hh"
+#include "util/bits.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "verify/differential.hh"
+
+namespace
+{
+
+using namespace rlr;
+
+/** Shape + knob randomization for one fuzz cell. */
+verify::DiffSpec
+randomSpec(const std::string &policy, util::Rng &rng,
+           uint64_t master_seed, uint64_t cell, uint32_t max_sets,
+           uint32_t max_ways, uint64_t accesses)
+{
+    verify::DiffSpec spec;
+    spec.policy = policy;
+    const unsigned max_set_bits =
+        util::floorLog2(std::max<uint32_t>(2, max_sets));
+    spec.sets = 1u << (1 + rng.nextBounded(max_set_bits));
+    // Geometry requires power-of-two associativity.
+    spec.ways =
+        1u << rng.nextBounded(
+            util::floorLog2(std::max<uint32_t>(1, max_ways)) + 1);
+    spec.rrpv_bits = static_cast<unsigned>(1 + rng.nextBounded(3));
+    spec.leader_sets = 2;
+    if (policy == "DRRIP")
+        spec.sets = std::max<uint32_t>(spec.sets, 4);
+    spec.ship_signature_bits =
+        static_cast<unsigned>(4 + rng.nextBounded(7));
+    spec.ship_shct_bits =
+        static_cast<unsigned>(2 + rng.nextBounded(2));
+    if (policy == "RLR-unopt")
+        spec.rlr = core::RlrConfig::unoptimized();
+    if (policy.rfind("RLR", 0) == 0) {
+        spec.rlr.allow_bypass = rng.nextBounded(2) == 0;
+        spec.rlr.use_hit_priority = rng.nextBounded(4) != 0;
+        spec.rlr.use_type_priority = rng.nextBounded(4) != 0;
+    }
+    // Deterministic per-cell trace seed (no wall clock anywhere).
+    spec.seed = master_seed * 1000003ULL + cell;
+    spec.accesses = accesses;
+    // Pool sized relative to capacity so sets see real contention.
+    spec.distinct_lines =
+        spec.sets * spec.ways *
+        static_cast<uint32_t>(1 + rng.nextBounded(4));
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser parser(
+        "Property-based differential fuzzer for replacement "
+        "policies");
+    parser.addOption("policies", "",
+                     "Comma-separated policies to fuzz (default: "
+                     "all reference-modeled policies)");
+    parser.addOption("cells", "60",
+                     "Differential (config, seed) cells to run");
+    parser.addOption("seed", "1", "Master random seed");
+    parser.addOption("accesses", "2000",
+                     "Trace length per differential cell");
+    parser.addOption("max-sets", "64",
+                     "Largest set count fuzzed (power of two)");
+    parser.addOption("max-ways", "8", "Largest associativity fuzzed");
+    parser.addOption("belady-cells", "2",
+                     "Belady-bound checks per policy (0 disables)");
+    parser.addFlag("mutate",
+                   "Mutation self-test: corrupt victim choices and "
+                   "FAIL unless the harness detects it");
+    parser.addFlag("verbose", "Print every cell as it runs");
+    if (!parser.parse(argc, argv))
+        return 0;
+
+    std::vector<std::string> policies =
+        parser.getList("policies");
+    if (policies.empty())
+        policies = verify::referencePolicies();
+    for (const auto &p : policies) {
+        if (!verify::hasReferenceModel(p))
+            util::fatal("no reference model for policy '{}'", p);
+    }
+
+    const uint64_t cells = parser.getUint("cells");
+    const uint64_t master_seed = parser.getUint("seed");
+    const uint64_t accesses = parser.getUint("accesses");
+    const auto max_sets =
+        static_cast<uint32_t>(parser.getUint("max-sets"));
+    const auto max_ways =
+        static_cast<uint32_t>(parser.getUint("max-ways"));
+    const uint64_t belady_cells = parser.getUint("belady-cells");
+    const bool mutate = parser.getFlag("mutate");
+    const bool verbose = parser.getFlag("verbose");
+
+    util::Rng shape_rng(master_seed ^ 0xf0225eedULL);
+
+    if (mutate) {
+        // Self-test: every policy, wrapped in a MutantPolicy that
+        // rotates every 3rd victim, must produce a mismatch.
+        uint64_t undetected = 0;
+        for (size_t i = 0; i < policies.size(); ++i) {
+            auto spec = randomSpec(policies[i], shape_rng,
+                                   master_seed, i, max_sets,
+                                   max_ways, accesses);
+            // Rotation is a no-op on a 1-way cache.
+            spec.ways = std::max<uint32_t>(spec.ways, 2);
+            // The mutant only corrupts findVictim, which the cache
+            // consults for full sets only: force enough distinct
+            // lines that conflict misses actually occur.
+            spec.sets = std::min<uint32_t>(spec.sets, 8);
+            spec.distinct_lines = spec.sets * spec.ways * 3;
+            const auto result =
+                verify::runDifferential(spec, /*mutate_period=*/3);
+            if (result.ok) {
+                ++undetected;
+                std::printf("NOT DETECTED: mutant %s survived "
+                            "(%s)\n",
+                            policies[i].c_str(),
+                            spec.describe().c_str());
+            } else if (verbose || i == 0) {
+                // Show one shrunk reproducer as evidence.
+                std::fputs(result.repro.c_str(), stdout);
+            }
+        }
+        std::printf("mutation self-test: %zu/%zu mutants "
+                    "detected\n",
+                    policies.size() - undetected, policies.size());
+        return undetected == 0 ? 0 : 1;
+    }
+
+    uint64_t mismatches = 0;
+    for (uint64_t i = 0; i < cells; ++i) {
+        const auto &policy = policies[i % policies.size()];
+        const auto spec =
+            randomSpec(policy, shape_rng, master_seed, i, max_sets,
+                       max_ways, accesses);
+        if (verbose)
+            std::printf("[%llu/%llu] %s\n",
+                        static_cast<unsigned long long>(i + 1),
+                        static_cast<unsigned long long>(cells),
+                        spec.describe().c_str());
+        const auto result = verify::runDifferential(spec);
+        if (!result.ok) {
+            ++mismatches;
+            std::fputs(result.repro.c_str(), stdout);
+        }
+    }
+
+    uint64_t bound_violations = 0;
+    for (uint64_t b = 0; b < belady_cells; ++b) {
+        for (size_t p = 0; p < policies.size(); ++p) {
+            auto spec = randomSpec(policies[p], shape_rng,
+                                   master_seed,
+                                   cells + b * policies.size() + p,
+                                   /*max_sets=*/8, /*max_ways=*/4,
+                                   /*accesses=*/600);
+            const std::string err = verify::beladyBoundError(spec);
+            if (!err.empty()) {
+                ++bound_violations;
+                std::printf("%s\n", err.c_str());
+            } else if (verbose) {
+                std::printf("belady bound ok: %s\n",
+                            spec.describe().c_str());
+            }
+        }
+    }
+
+    std::printf("fuzz_policies: %llu cells, %llu mismatches; "
+                "%llu belady checks, %llu violations\n",
+                static_cast<unsigned long long>(cells),
+                static_cast<unsigned long long>(mismatches),
+                static_cast<unsigned long long>(belady_cells *
+                                                policies.size()),
+                static_cast<unsigned long long>(bound_violations));
+    return (mismatches == 0 && bound_violations == 0) ? 0 : 1;
+}
