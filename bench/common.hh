@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/events_io.hh"
 #include "sim/experiment.hh"
 #include "sim/sweep_runner.hh"
 #include "stats/stats.hh"
@@ -41,6 +42,11 @@ struct BenchOptions
     sim::SweepOptions sweep;
     /** --json: combined export path for every sweep in the run. */
     std::string json;
+    /** --events: LLC decision-event export path (enables the
+     *  event log for every cell). */
+    std::string events;
+    /** --chrome-trace: trace_event JSON path for the sweep. */
+    std::string chrome_trace;
     /** --inject-fail: "<workload>:<policy>" cell forced to throw. */
     std::string inject_fail;
 
@@ -76,6 +82,24 @@ makeParser(const std::string &description)
     parser.addOption("json", "",
                      "Write every sweep cell (result, telemetry, "
                      "error) as JSON to this path");
+    parser.addOption("events", "",
+                     "Record LLC decision events (fills, hits, "
+                     "evictions, bypasses) and write them as JSON "
+                     "to this path (tools/inspect input)");
+    parser.addOption("events-capacity", "65536",
+                     "Event-log ring capacity per cell "
+                     "(with --events)");
+    parser.addOption("events-sample", "1",
+                     "Record events for 1-in-N LLC sets "
+                     "(with --events)");
+    parser.addOption("epoch", "0",
+                     "LLC epoch length in accesses; adds "
+                     "llc.epoch.* time-series to the stats "
+                     "snapshot (0 = off)");
+    parser.addOption("chrome-trace", "",
+                     "Write the sweep schedule as Chrome "
+                     "trace_event JSON (chrome://tracing, "
+                     "Perfetto) to this path");
     parser.addOption("inject-fail", "",
                      "Force sweep cell <workload>:<policy> to "
                      "throw (exercises the failure path)");
@@ -106,6 +130,15 @@ makeOptions(const util::ArgParser &parser)
     opt.sweep.progress = parser.getFlag("progress");
     opt.sweep.stable_telemetry = parser.getFlag("stable-json");
     opt.json = parser.get("json");
+    opt.events = parser.get("events");
+    opt.chrome_trace = parser.get("chrome-trace");
+    if (!opt.events.empty()) {
+        opt.params.llc_events_capacity = static_cast<uint32_t>(
+            parser.getUint("events-capacity"));
+        opt.params.llc_events_sample_sets = static_cast<uint32_t>(
+            parser.getUint("events-sample"));
+    }
+    opt.params.llc_epoch_length = parser.getUint("epoch");
     opt.inject_fail = parser.get("inject-fail");
     opt.csv = parser.getFlag("csv");
     opt.workloads = parser.getList("workloads");
@@ -198,6 +231,18 @@ finish(const BenchOptions &opt)
     const auto &cells = detail::collectedCells();
     if (!opt.json.empty())
         sim::SweepRunner::writeJson(opt.json, cells);
+    if (!opt.events.empty()) {
+        std::vector<obs::CellEvents> logs;
+        for (const auto &c : cells) {
+            if (!c.ok() || c.result.llc_events.empty())
+                continue;
+            logs.push_back(obs::CellEvents{
+                c.workload, c.policy, c.seed, c.result.llc_events});
+        }
+        obs::writeEvents(opt.events, logs);
+    }
+    if (!opt.chrome_trace.empty())
+        sim::SweepRunner::writeChromeTrace(opt.chrome_trace, cells);
     if (!sim::SweepRunner::anyFailed(cells))
         return 0;
     std::puts("\n=== Failed sweep cells ===");

@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "cache/cache.hh"
 #include "core/policy_factory.hh"
+#include "obs/epoch.hh"
+#include "obs/event_log.hh"
 #include "util/rng.hh"
 
 using namespace rlr;
@@ -52,7 +55,88 @@ policyBench(benchmark::State &state, const std::string &name)
         static_cast<int64_t>(state.iterations()));
 }
 
+/** Zero-state backing memory with a fixed latency. */
+class FlatMemory : public cache::MemoryLevel
+{
+  public:
+    uint64_t
+    access(const cache::MemRequest &req, uint64_t now) override
+    {
+        if (req.type == trace::AccessType::Writeback)
+            return now;
+        return now + 100;
+    }
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::string name_ = "flat";
+};
+
+/** Observability attachment for the cache-access benchmarks. */
+enum class Tracing
+{
+    /** No EventLog / EpochSampler (the disabled path: one
+     *  dispatch branch into a hook-free access body, bounded at
+     *  <2% by tests/test_obs_overhead.cc). */
+    Off,
+    /** EventLog on every set. */
+    Events,
+    /** EventLog with 1-in-64 set sampling. */
+    EventsSampled,
+    /** EventLog on every set plus an EpochSampler. */
+    EventsEpoch,
+};
+
+/**
+ * Full cache-access cost (lookup + replacement + obs hooks) under
+ * the chosen tracing attachment — the software overhead a sweep
+ * pays for --events / --epoch.
+ */
+void
+cacheAccessBench(benchmark::State &state, Tracing tracing)
+{
+    cache::CacheGeometry geom;
+    geom.name = "LLC";
+    geom.size_bytes = 64 * 1024; // 256 sets x 4 ways
+    geom.ways = 4;
+    geom.latency = 10;
+    geom.mshrs = 8;
+    FlatMemory mem;
+    cache::Cache c(geom, core::makePolicy("LRU", 1), &mem);
+
+    obs::EventLog events(
+        {1 << 14,
+         tracing == Tracing::EventsSampled ? 64u : 1u});
+    obs::EpochSampler epoch(10000);
+    if (tracing != Tracing::Off)
+        c.setEventLog(&events);
+    if (tracing == Tracing::EventsEpoch)
+        c.setEpochSampler(&epoch);
+
+    util::Rng rng(7);
+    uint64_t now = 0;
+    for (auto _ : state) {
+        cache::MemRequest req;
+        req.address = rng.nextBounded(4096) * 64;
+        req.pc = 0x400000 + 4 * rng.nextBounded(64);
+        req.type = trace::AccessType::Load;
+        const uint64_t ready = c.access(req, now);
+        now += 1000;
+        benchmark::DoNotOptimize(ready);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+
 } // namespace
+
+BENCHMARK_CAPTURE(cacheAccessBench, tracing_off, Tracing::Off);
+BENCHMARK_CAPTURE(cacheAccessBench, tracing_events,
+                  Tracing::Events);
+BENCHMARK_CAPTURE(cacheAccessBench, tracing_events_sampled,
+                  Tracing::EventsSampled);
+BENCHMARK_CAPTURE(cacheAccessBench, tracing_events_epoch,
+                  Tracing::EventsEpoch);
 
 BENCHMARK_CAPTURE(policyBench, LRU, std::string("LRU"));
 BENCHMARK_CAPTURE(policyBench, DRRIP, std::string("DRRIP"));

@@ -10,7 +10,10 @@
 #      README.md;
 #   5. a required doc file is missing;
 #   6. a fuzz_policies flag (tools/fuzz_policies.cc) is absent
-#      from docs/TESTING.md, or the test scripts are undocumented.
+#      from docs/TESTING.md, or the test scripts are undocumented;
+#   7. a tools/inspect flag is absent from docs/OBSERVABILITY.md,
+#      or the llc.epoch.* / llc.events.* stat families are
+#      undocumented there.
 #
 # Pure grep/sed over the sources: runs without a compiler, so it
 # can gate doc-only changes too. Run from the repository root.
@@ -26,7 +29,7 @@ err() {
 }
 
 for f in README.md docs/POLICIES.md docs/ARCHITECTURE.md \
-         docs/TESTING.md EXPERIMENTS.md; do
+         docs/TESTING.md docs/OBSERVABILITY.md EXPERIMENTS.md; do
     [ -f "$f" ] || err "required doc '$f' is missing"
 done
 [ "$fail" -eq 0 ] || exit 1
@@ -98,6 +101,24 @@ done
 grep -q "RLR_VERIFY" docs/TESTING.md ||
     err "the RLR_VERIFY invariant toggle is not documented in" \
         "docs/TESTING.md"
+
+# --- 7. the observability layer is documented -----------------------
+# Every tools/inspect CLI flag must appear in
+# docs/OBSERVABILITY.md, along with the stat families and the
+# e2e golden script.
+inspect_flags=$(grep -o 'add\(Option\|Flag\)("[a-z-]*"' \
+                    tools/inspect.cc | sed 's/.*("//; s/"//')
+[ -n "$inspect_flags" ] ||
+    err "could not extract flags from tools/inspect.cc"
+for f in $inspect_flags; do
+    grep -q -- "--$f" docs/OBSERVABILITY.md ||
+        err "inspect flag '--$f' is not documented in" \
+            "docs/OBSERVABILITY.md"
+done
+for needle in "llc.epoch." "llc.events." scripts/inspect_e2e.sh; do
+    grep -q "$needle" docs/OBSERVABILITY.md ||
+        err "'$needle' is not documented in docs/OBSERVABILITY.md"
+done
 
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED (see messages above)" >&2

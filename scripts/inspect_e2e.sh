@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Observability end-to-end check (wired into ctest as
+# `inspect_e2e`): runs the canonical tiny sweep with the full
+# observability surface enabled (--events, --epoch,
+# --chrome-trace, --stable-json), validates the Chrome trace with
+# `inspect --check-trace`, renders the inspection report, and
+# compares both the events export and the report byte-for-byte
+# against the committed goldens:
+#
+#   tests/data/events_fixture.json   (bench --events export)
+#   tests/data/inspect_golden.md     (tools/inspect report)
+#
+# --update rewrites the goldens instead of diffing (that is what
+# scripts/update_golden.sh delegates to). The sweep is fully
+# deterministic — synthetic workloads, fixed seed, per-cell seed
+# derivation — so the goldens are stable across machines and
+# thread counts.
+#
+# Usage: scripts/inspect_e2e.sh [--check|--update]
+#            [--fig1-bin=PATH] [--inspect-bin=PATH]
+
+set -eu
+
+cd "$(dirname "$0")/.." || exit 1
+
+mode=check
+fig1_bin="build/bench/fig1_hitrate"
+inspect_bin="build/tools/inspect"
+for arg in "$@"; do
+    case "$arg" in
+        --check) mode=check ;;
+        --update) mode=update ;;
+        --fig1-bin=*) fig1_bin="${arg#--fig1-bin=}" ;;
+        --inspect-bin=*) inspect_bin="${arg#--inspect-bin=}" ;;
+        *)
+            echo "inspect_e2e: unknown argument '$arg'" >&2
+            echo "usage: $0 [--check|--update]" \
+                 "[--fig1-bin=PATH] [--inspect-bin=PATH]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+for bin in "$fig1_bin" "$inspect_bin"; do
+    [ -x "$bin" ] || {
+        echo "inspect_e2e: binary '$bin' not found; build first" \
+             "(cmake --build build) or pass --fig1-bin= /" \
+             "--inspect-bin=" >&2
+        exit 2
+    }
+done
+# Absolute paths: the report is rendered from inside the temp dir
+# so its "Source:" line stays the bare fixture filename.
+case "$fig1_bin" in /*) ;; *) fig1_bin="$PWD/$fig1_bin" ;; esac
+case "$inspect_bin" in /*) ;; *) inspect_bin="$PWD/$inspect_bin" ;; esac
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# The canonical sweep. Warmup is long enough to fill the 2MB LLC
+# so the measured ring window contains evictions; --events-sample
+# 4 exercises set sampling; the 30k-instruction window closes no
+# full 5000-access epoch, so the export also covers the
+# final-partial-epoch flush.
+echo "inspect_e2e: running canonical sweep" >&2
+"$fig1_bin" --workloads 429.mcf --policies LRU,RLR \
+    --warmup 250000 --instructions 30000 --threads 2 --seed 42 \
+    --stable-json \
+    --events "$tmp/events_fixture.json" \
+    --events-capacity 256 --events-sample 4 --epoch 5000 \
+    --chrome-trace "$tmp/sweep_trace.json" >/dev/null
+
+# The Chrome trace must be structurally valid trace_event JSON.
+"$inspect_bin" --check-trace "$tmp/sweep_trace.json"
+
+(cd "$tmp" && "$inspect_bin" --from events_fixture.json \
+    --out inspect_golden.md --title "Golden trace inspection")
+
+if [ "$mode" = update ]; then
+    cp "$tmp/events_fixture.json" tests/data/events_fixture.json
+    cp "$tmp/inspect_golden.md" tests/data/inspect_golden.md
+    echo "inspect_e2e: regenerated tests/data/events_fixture.json" \
+         "and tests/data/inspect_golden.md"
+else
+    for f in events_fixture.json inspect_golden.md; do
+        if ! diff -u "tests/data/$f" "$tmp/$f"; then
+            echo "inspect_e2e: tests/data/$f is stale; run" \
+                 "scripts/update_golden.sh to regenerate" >&2
+            exit 1
+        fi
+    done
+    echo "inspect_e2e: events export and inspection report match" \
+         "the goldens"
+fi

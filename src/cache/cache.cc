@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/epoch.hh"
+#include "obs/event_log.hh"
 #include "util/logging.hh"
 
 namespace rlr::cache
@@ -17,6 +19,17 @@ std::string
 typeKey(trace::AccessType type, const char *suffix)
 {
     return std::string(trace::accessTypeName(type)) + "_" + suffix;
+}
+
+trace::LlcAccess
+toLlcAccess(const MemRequest &req)
+{
+    trace::LlcAccess rec;
+    rec.pc = req.pc;
+    rec.address = req.address;
+    rec.type = req.type;
+    rec.cpu = req.cpu;
+    return rec;
 }
 
 bool
@@ -47,6 +60,25 @@ Cache::setPrefetcher(std::unique_ptr<Prefetcher> prefetcher)
     prefetcher_ = std::move(prefetcher);
     if (prefetcher_)
         prefetcher_->bind(geom_);
+}
+
+void
+Cache::setEventLog(obs::EventLog *log)
+{
+    events_ = log;
+    if (events_)
+        events_->bind(geom_.numSets(), geom_.ways);
+}
+
+void
+Cache::setEpochSampler(obs::EpochSampler *sampler)
+{
+    epoch_ = sampler;
+    if (epoch_) {
+        epoch_->bind(geom_.numSets());
+        epoch_->setOccupancyProvider(
+            [this] { return validLines(); });
+    }
 }
 
 Cache::Block &
@@ -126,6 +158,19 @@ Cache::runPrefetcher(const MemRequest &req, bool hit, uint64_t now)
 uint64_t
 Cache::access(const MemRequest &req, uint64_t now)
 {
+    // One dispatch per access: with nothing attached the body
+    // compiles hook-free (if constexpr strips every observability
+    // call site), so disabled tracing costs a single predicted
+    // branch rather than a null check per decision point.
+    if (events_ || epoch_)
+        return accessImpl<true>(req, now);
+    return accessImpl<false>(req, now);
+}
+
+template <bool Obs>
+uint64_t
+Cache::accessImpl(const MemRequest &req, uint64_t now)
+{
     now += geom_.latency;
     const uint64_t line = CacheGeometry::lineAddress(req.address);
     const uint64_t tag = geom_.tag(line);
@@ -157,11 +202,28 @@ Cache::access(const MemRequest &req, uint64_t now)
             // the outstanding MSHR and completes with it.
             countAccess(req.type, false);
             ++stats_.counter("mshr_merges");
+            if constexpr (Obs) {
+                if (epoch_)
+                    epoch_->onAccess(set, req.type, false);
+                if (events_)
+                    events_->onMiss(set);
+            }
             if (demand)
                 runPrefetcher(req, false, now);
             return std::max(now, b.ready_at);
         }
         countAccess(req.type, true);
+        if constexpr (Obs) {
+            if (epoch_)
+                epoch_->onAccess(set, req.type, true);
+            if (events_) {
+                // Pre-update priority: the standing the line had
+                // when it was hit (e.g. its RRPV before promotion).
+                events_->onHit(set, *hit_way, toLlcAccess(req),
+                               policy_->victimPriority(set,
+                                                       *hit_way));
+            }
+        }
         AccessContext ctx;
         ctx.cpu = req.cpu;
         ctx.set = set;
@@ -180,11 +242,17 @@ Cache::access(const MemRequest &req, uint64_t now)
 
     // Miss.
     countAccess(req.type, false);
+    if constexpr (Obs) {
+        if (epoch_)
+            epoch_->onAccess(set, req.type, false);
+        if (events_)
+            events_->onMiss(set);
+    }
 
     if (req.type == trace::AccessType::Writeback) {
         // Write-allocate on writeback: the entire line is being
         // written, so no fetch from the next level is required.
-        fill(req, now, /*dirty=*/true);
+        fillImpl<Obs>(req, now, /*dirty=*/true);
         if (verify_)
             runVerify(set);
         return now;
@@ -203,10 +271,20 @@ Cache::access(const MemRequest &req, uint64_t now)
         req.type == trace::AccessType::Prefetch &&
         req.pf_confidence < pf_fill_threshold_;
     if (!skip_install) {
-        fill(req, ready, /*dirty=*/writes_on_rfo_ &&
-                             req.type == trace::AccessType::Rfo);
+        fillImpl<Obs>(req, ready,
+                      /*dirty=*/writes_on_rfo_ &&
+                          req.type == trace::AccessType::Rfo);
     } else {
         ++stats_.counter("pf_fills_skipped");
+        if constexpr (Obs) {
+            if (epoch_)
+                epoch_->onBypass();
+            if (events_) {
+                events_->onBypass(
+                    set, toLlcAccess(req),
+                    BypassReason::LowConfidencePrefetch);
+            }
+        }
     }
 
     if (demand)
@@ -216,8 +294,9 @@ Cache::access(const MemRequest &req, uint64_t now)
     return ready;
 }
 
+template <bool Obs>
 bool
-Cache::fill(const MemRequest &req, uint64_t ready, bool dirty)
+Cache::fillImpl(const MemRequest &req, uint64_t ready, bool dirty)
 {
     const uint64_t line = CacheGeometry::lineAddress(req.address);
     const uint32_t set = geom_.setIndex(line);
@@ -249,6 +328,14 @@ Cache::fill(const MemRequest &req, uint64_t ready, bool dirty)
         if (way == ReplacementPolicy::kBypass) {
             if (req.type != trace::AccessType::Writeback) {
                 ++stats_.counter("bypasses");
+                if constexpr (Obs) {
+                    if (epoch_)
+                        epoch_->onBypass();
+                    if (events_) {
+                        events_->onBypass(set, toLlcAccess(req),
+                                          policy_->bypassReason());
+                    }
+                }
                 return false;
             }
             // Writebacks cannot be bypassed; fall back to way 0.
@@ -258,6 +345,18 @@ Cache::fill(const MemRequest &req, uint64_t ready, bool dirty)
 
         Block &victim = block(set, way);
         if (victim.valid) {
+            if constexpr (Obs) {
+                // Before onEviction, while the policy's victim
+                // metadata is still live.
+                const uint64_t prio =
+                    policy_->victimPriority(set, way);
+                if (events_) {
+                    events_->onEviction(set, way, victim.address,
+                                        toLlcAccess(req), prio);
+                }
+                if (epoch_)
+                    epoch_->onEviction(prio);
+            }
             policy_->onEviction(set, way,
                                 BlockView{victim.valid, victim.dirty,
                                           victim.prefetch,
@@ -292,6 +391,13 @@ Cache::fill(const MemRequest &req, uint64_t ready, bool dirty)
     ctx.type = req.type;
     ctx.hit = false;
     policy_->onAccess(ctx);
+    if constexpr (Obs) {
+        if (events_) {
+            // Post-insertion priority (e.g. the inserted RRPV).
+            events_->onFill(set, way, toLlcAccess(req),
+                            policy_->victimPriority(set, way));
+        }
+    }
     return true;
 }
 
@@ -355,12 +461,20 @@ Cache::describeStats(stats::Registry &reg,
     policy_->describeStats(reg, prefix + ".policy");
     if (prefetcher_)
         prefetcher_->describeStats(reg, prefix + ".prefetcher");
+    if (events_)
+        events_->describeStats(reg, prefix + ".events");
+    if (epoch_)
+        epoch_->describeStats(reg, prefix + ".epoch");
 }
 
 void
 Cache::resetStats()
 {
     stats_.reset();
+    if (events_)
+        events_->reset();
+    if (epoch_)
+        epoch_->reset();
 }
 
 void
@@ -369,7 +483,7 @@ Cache::flush()
     std::fill(blocks_.begin(), blocks_.end(), Block{});
     while (!inflight_.empty())
         inflight_.pop();
-    stats_.reset();
+    resetStats();
 }
 
 uint64_t
@@ -388,6 +502,15 @@ uint64_t
 Cache::demandMisses() const
 {
     return stats_.value("LD_miss") + stats_.value("RFO_miss");
+}
+
+uint64_t
+Cache::validLines() const
+{
+    uint64_t n = 0;
+    for (const Block &b : blocks_)
+        n += b.valid ? 1 : 0;
+    return n;
 }
 
 } // namespace rlr::cache

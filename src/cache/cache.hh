@@ -19,6 +19,12 @@
 #include "cache/replacement.hh"
 #include "stats/stats.hh"
 
+namespace rlr::obs
+{
+class EventLog;
+class EpochSampler;
+} // namespace rlr::obs
+
 namespace rlr::cache
 {
 
@@ -57,6 +63,24 @@ class Cache : public MemoryLevel
 
     /** Install an access-capture sink (e.g. LLC trace recording). */
     void setAccessSink(AccessSink sink) { sink_ = std::move(sink); }
+
+    /**
+     * Attach a decision-level event log (borrowed; null detaches).
+     * The log is bound to this cache's geometry and driven at
+     * every hit / miss / fill / eviction / bypass. When detached
+     * (the default) the access path compiles hook-free and pays
+     * only one predicted dispatch branch per access.
+     */
+    void setEventLog(obs::EventLog *log);
+    obs::EventLog *eventLog() { return events_; }
+
+    /**
+     * Attach an epoch time-series sampler (borrowed; null
+     * detaches). The sampler is bound to this cache's set count
+     * and given a valid-line occupancy provider.
+     */
+    void setEpochSampler(obs::EpochSampler *sampler);
+    obs::EpochSampler *epochSampler() { return epoch_; }
 
     /**
      * Arm (or disarm) per-access invariant checking: after every
@@ -117,6 +141,9 @@ class Cache : public MemoryLevel
     uint64_t demandHits() const;
     uint64_t demandMisses() const;
 
+    /** Currently valid lines (epoch occupancy sampling). */
+    uint64_t validLines() const;
+
   private:
     struct Block
     {
@@ -137,10 +164,19 @@ class Cache : public MemoryLevel
     std::optional<uint32_t> lookup(uint32_t set, uint64_t tag) const;
 
     /**
+     * Access body, compiled twice: Obs=false is the hook-free
+     * disabled path; Obs=true drives the attached EventLog /
+     * EpochSampler. access() dispatches once per call.
+     */
+    template <bool Obs>
+    uint64_t accessImpl(const MemRequest &req, uint64_t now);
+
+    /**
      * Install a line, evicting if necessary.
      * @return false when the fill was bypassed by the policy.
      */
-    bool fill(const MemRequest &req, uint64_t ready, bool dirty);
+    template <bool Obs>
+    bool fillImpl(const MemRequest &req, uint64_t ready, bool dirty);
 
     /** Enforce MSHR capacity; may advance @p now. */
     uint64_t reserveMshr(uint64_t now, uint64_t ready);
@@ -159,6 +195,10 @@ class Cache : public MemoryLevel
     MemoryLevel *next_;
     std::unique_ptr<Prefetcher> prefetcher_;
     AccessSink sink_;
+    /** Borrowed observability hooks; null = disabled (the access
+     *  path then runs the hook-free accessImpl<false>). */
+    obs::EventLog *events_ = nullptr;
+    obs::EpochSampler *epoch_ = nullptr;
     bool writes_on_rfo_ = false;
     float pf_fill_threshold_ = 0.0f;
     /** Invariant checking armed (RLR_VERIFY / fuzz harness). */

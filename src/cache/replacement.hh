@@ -28,6 +28,27 @@
 namespace rlr::cache
 {
 
+/**
+ * Why a fill was skipped. The cache stamps LowConfidencePrefetch
+ * on its own fill-level-control path; policies returning kBypass
+ * report their reason through
+ * ReplacementPolicy::bypassReason().
+ */
+enum class BypassReason : uint8_t
+{
+    /** Not a bypass (default on non-bypass events). */
+    None = 0,
+    /** Policy declined the fill (generic). */
+    Policy,
+    /** RLR age protection: every line still young. */
+    AgeProtected,
+    /** Fill-level control: prefetch confidence below threshold. */
+    LowConfidencePrefetch,
+};
+
+/** Number of distinct bypass reason codes. */
+inline constexpr size_t kNumBypassReasons = 4;
+
 /** Everything a policy may observe about one access. */
 struct AccessContext
 {
@@ -159,6 +180,32 @@ class ReplacementPolicy
     {
         (void)reg;
         (void)prefix;
+    }
+
+    /**
+     * Replacement priority of a resident line, in the policy's
+     * native units (LRU: recency rank with 0 = LRU; RRIP family:
+     * RRPV; RLR: the P_line sum). Purely observational — the
+     * event log (src/obs/) records it on hits, fills, and
+     * evictions. Default: 0 for policies without a natural
+     * priority.
+     */
+    virtual uint64_t
+    victimPriority(uint32_t set, uint32_t way) const
+    {
+        (void)set;
+        (void)way;
+        return 0;
+    }
+
+    /**
+     * Reason code for the most recent findVictim() that returned
+     * kBypass. Only read immediately after a bypassing
+     * findVictim(); default: generic Policy.
+     */
+    virtual BypassReason bypassReason() const
+    {
+        return BypassReason::Policy;
     }
 
     /** Policy name used in experiment tables. */

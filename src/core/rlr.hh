@@ -111,6 +111,20 @@ class RlrPolicy : public cache::ReplacementPolicy
     /** Per-line priority as computed for victim selection (tests). */
     uint64_t linePriority(uint32_t set, uint32_t way) const;
 
+    /** Observational priority = the P_line sum (event log). */
+    uint64_t
+    victimPriority(uint32_t set, uint32_t way) const override
+    {
+        return linePriority(set, way);
+    }
+
+    /** RLR only bypasses when every line is age-protected. */
+    cache::BypassReason
+    bypassReason() const override
+    {
+        return cache::BypassReason::AgeProtected;
+    }
+
     /** Core priority level for @p cpu (multicore extension). */
     unsigned corePriority(uint8_t cpu) const;
 

@@ -33,6 +33,13 @@ class LruPolicy : public cache::ReplacementPolicy
     /** Recency rank of a way: 0 = LRU ... ways-1 = MRU (tests). */
     uint32_t recencyRank(uint32_t set, uint32_t way) const;
 
+    /** Observational priority = recency rank (event log). */
+    uint64_t
+    victimPriority(uint32_t set, uint32_t way) const override
+    {
+        return recencyRank(set, way);
+    }
+
   private:
     uint32_t ways_ = 0;
     uint64_t clock_ = 0;

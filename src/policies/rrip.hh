@@ -40,6 +40,13 @@ class RripBase : public cache::ReplacementPolicy
     /** RRPV of a way (tests). */
     uint8_t rrpv(uint32_t set, uint32_t way) const;
 
+    /** Observational priority = RRPV (event log). */
+    uint64_t
+    victimPriority(uint32_t set, uint32_t way) const override
+    {
+        return rrpv(set, way);
+    }
+
   protected:
     /** @return insertion RRPV for this fill. */
     virtual uint8_t insertionRrpv(const cache::AccessContext &ctx) = 0;

@@ -56,6 +56,9 @@ runWorkloads(const std::vector<std::string> &workloads,
     sys_cfg.policy_seed = params.seed;
     sys_cfg.l2_prefetcher = params.l2_prefetcher;
     sys_cfg.capture_llc_trace = params.capture_llc_trace;
+    sys_cfg.llc_events_capacity = params.llc_events_capacity;
+    sys_cfg.llc_events_sample_sets = params.llc_events_sample_sets;
+    sys_cfg.llc_epoch_length = params.llc_epoch_length;
     System system(sys_cfg);
 
     std::vector<std::unique_ptr<trace::SyntheticGenerator>> gens;
@@ -129,6 +132,8 @@ runWorkloads(const std::vector<std::string> &workloads,
     result.stats = registry.snapshot();
     if (params.capture_llc_trace)
         result.llc_trace = system.llcTrace();
+    if (system.llcEventLog())
+        result.llc_events = system.llcEventLog()->data();
     return result;
 }
 

@@ -32,6 +32,13 @@ struct SimParams
     bool capture_llc_trace = false;
     /** Multicore stepping quantum (instructions per turn). */
     uint32_t interleave_quantum = 64;
+
+    /** LLC event-log ring capacity; 0 disables (src/obs/). */
+    uint32_t llc_events_capacity = 0;
+    /** Record events for 1-in-N LLC sets. */
+    uint32_t llc_events_sample_sets = 1;
+    /** LLC epoch length in accesses; 0 disables the sampler. */
+    uint64_t llc_epoch_length = 0;
 };
 
 /** Per-core outcome of a run. */
@@ -63,6 +70,9 @@ struct RunResult
 
     /** Captured LLC access stream (capture_llc_trace only). */
     trace::LlcTrace llc_trace;
+
+    /** LLC decision events (llc_events_capacity > 0 only). */
+    obs::EventLogData llc_events;
 
     double llcDemandHitRate() const;
     /** Demand misses per kilo-instruction. */
@@ -101,6 +111,9 @@ struct SweepCell
 
     /** Seed actually used for this cell (derived, per-workload). */
     uint64_t seed = 0;
+    /** Wall-clock start offset from the sweep start in seconds
+     *  (Chrome-trace timeline). */
+    double start_seconds = 0.0;
     /** Wall-clock runtime of this cell in seconds. */
     double wall_seconds = 0.0;
     /** Simulated instruction throughput (million instrs/sec). */

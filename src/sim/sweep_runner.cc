@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/chrome_trace.hh"
 #include "stats/export.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
@@ -99,6 +100,7 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
             p.llc_policy = cell.policy;
             p.seed = cell.seed;
             const auto cell_start = Clock::now();
+            cell.start_seconds = secondsSince(sweep_start);
             try {
                 cell.result = cell_fn_
                                   ? cell_fn_(specs[i], p)
@@ -136,6 +138,7 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
     if (opts_.stable_telemetry) {
         // Leave only seed-determined fields in the export.
         for (auto &cell : cells) {
+            cell.start_seconds = 0.0;
             cell.wall_seconds = 0.0;
             cell.mips = 0.0;
         }
@@ -223,6 +226,50 @@ SweepRunner::toJson(const std::vector<SweepCell> &cells)
     }
     out += "]\n";
     return out;
+}
+
+std::string
+SweepRunner::chromeTraceJson(const std::vector<SweepCell> &cells)
+{
+    std::vector<obs::TraceSpan> spans;
+    spans.reserve(cells.size());
+    for (const SweepCell &c : cells) {
+        obs::TraceSpan s;
+        s.name = c.workload + "/" + c.policy;
+        s.category = c.ok() ? "cell" : "cell,error";
+        s.start_us =
+            static_cast<uint64_t>(c.start_seconds * 1e6);
+        s.duration_us =
+            static_cast<uint64_t>(c.wall_seconds * 1e6);
+        s.args.emplace_back("workload",
+                            "\"" + escape(c.workload) + "\"");
+        s.args.emplace_back("policy",
+                            "\"" + escape(c.policy) + "\"");
+        s.args.emplace_back("seed", util::format("{}", c.seed));
+        s.args.emplace_back("mips", number(c.mips));
+        if (!c.ok()) {
+            s.args.emplace_back("error",
+                                "\"" + escape(c.error) + "\"");
+        }
+        spans.push_back(std::move(s));
+    }
+    obs::assignLanes(spans);
+    return obs::chromeTraceJson(spans, "sweep");
+}
+
+void
+SweepRunner::writeChromeTrace(const std::string &path,
+                              const std::vector<SweepCell> &cells)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        util::fatal("cannot open chrome-trace path '{}'", path);
+    const std::string json = chromeTraceJson(cells);
+    const size_t written =
+        std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    if (written != json.size())
+        util::fatal("short write to chrome-trace path '{}'", path);
 }
 
 void

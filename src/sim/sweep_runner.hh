@@ -104,6 +104,21 @@ class SweepRunner
     static void writeJson(const std::string &path,
                           const std::vector<SweepCell> &cells);
 
+    /**
+     * Chrome trace_event JSON of the sweep schedule: one complete
+     * ("X") slice per cell (named "workload/policy", packed into
+     * lanes, with seed/MIPS/error args), loadable in
+     * chrome://tracing and Perfetto. Under stable_telemetry the
+     * cells carry zero timestamps, so the export is byte-identical
+     * across same-seed runs.
+     */
+    static std::string
+    chromeTraceJson(const std::vector<SweepCell> &cells);
+
+    /** Write chromeTraceJson(cells) to @p path. */
+    static void writeChromeTrace(const std::string &path,
+                                 const std::vector<SweepCell> &cells);
+
   private:
     SimParams params_;
     SweepOptions opts_;

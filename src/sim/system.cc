@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include "core/policy_factory.hh"
+#include "core/rlr.hh"
 #include "policies/lru.hh"
 #include "prefetch/ip_stride.hh"
 #include "prefetch/kpc_p.hh"
@@ -31,6 +32,25 @@ System::System(const SystemConfig &config) : config_(config)
         llc_->setAccessSink([this](const trace::LlcAccess &a) {
             llc_trace_.append(a);
         });
+    }
+    if (config_.llc_events_capacity > 0) {
+        obs::EventLogConfig ev_cfg;
+        ev_cfg.capacity = config_.llc_events_capacity;
+        ev_cfg.sample_sets = config_.llc_events_sample_sets;
+        llc_events_ = std::make_unique<obs::EventLog>(ev_cfg);
+        llc_->setEventLog(llc_events_.get());
+    }
+    if (config_.llc_epoch_length > 0) {
+        llc_epoch_ = std::make_unique<obs::EpochSampler>(
+            config_.llc_epoch_length);
+        llc_->setEpochSampler(llc_epoch_.get());
+        // RLR exposes its predicted reuse distance as the tracked
+        // per-epoch policy scalar (paper Section IV's rd_).
+        if (auto *rlr =
+                dynamic_cast<core::RlrPolicy *>(llc_->policy())) {
+            llc_epoch_->setScalarProvider(
+                "rd", [rlr] { return rlr->reuseDistance(); });
+        }
     }
 
     for (uint32_t i = 0; i < config_.num_cores; ++i) {

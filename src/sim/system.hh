@@ -14,6 +14,8 @@
 #include "cache/cache.hh"
 #include "cpu/core.hh"
 #include "mem/dram.hh"
+#include "obs/epoch.hh"
+#include "obs/event_log.hh"
 #include "stats/registry.hh"
 #include "trace/trace_io.hh"
 
@@ -58,6 +60,15 @@ struct SystemConfig
     /** Record the LLC access stream into an LlcTrace. */
     bool capture_llc_trace = false;
 
+    /** Decision-level LLC event log (src/obs/): ring capacity in
+     *  events; 0 disables (the default — zero hot-path cost). */
+    uint32_t llc_events_capacity = 0;
+    /** Record events for 1-in-N LLC sets (1 = every set). */
+    uint32_t llc_events_sample_sets = 1;
+    /** LLC epoch sampler: epoch length in LLC accesses;
+     *  0 disables. */
+    uint64_t llc_epoch_length = 0;
+
     mem::DramConfig dram{};
 };
 
@@ -81,6 +92,14 @@ class System
     /** Captured LLC trace (capture_llc_trace only). */
     const trace::LlcTrace &llcTrace() const { return llc_trace_; }
 
+    /** LLC event log (null unless llc_events_capacity > 0). */
+    obs::EventLog *llcEventLog() { return llc_events_.get(); }
+    /** LLC epoch sampler (null unless llc_epoch_length > 0). */
+    obs::EpochSampler *llcEpochSampler()
+    {
+        return llc_epoch_.get();
+    }
+
     /** Reset all statistics (end of warmup); state is kept warm. */
     void resetStats();
 
@@ -102,6 +121,8 @@ class System
     std::vector<std::unique_ptr<cache::Cache>> l1i_;
     std::vector<std::unique_ptr<cache::Cache>> l1d_;
     std::vector<std::unique_ptr<cpu::O3Core>> cores_;
+    std::unique_ptr<obs::EventLog> llc_events_;
+    std::unique_ptr<obs::EpochSampler> llc_epoch_;
     trace::LlcTrace llc_trace_;
 };
 

@@ -46,8 +46,8 @@ fakeRun(const SweepRunner::CellSpec &spec, const sim::SimParams &p)
     return r;
 }
 
-std::string
-sweepJson(uint64_t seed, size_t threads, bool stable)
+std::vector<sim::SweepCell>
+sweepCells(uint64_t seed, size_t threads, bool stable)
 {
     sim::SimParams params;
     params.seed = seed;
@@ -56,9 +56,14 @@ sweepJson(uint64_t seed, size_t threads, bool stable)
     opts.stable_telemetry = stable;
     SweepRunner runner(params, opts);
     runner.setCellFn(fakeRun);
-    const auto cells = runner.run({"astar", "lbm", "mcf"},
-                                  {"LRU", "SRRIP", "RLR"});
-    return SweepRunner::toJson(cells);
+    return runner.run({"astar", "lbm", "mcf"},
+                      {"LRU", "SRRIP", "RLR"});
+}
+
+std::string
+sweepJson(uint64_t seed, size_t threads, bool stable)
+{
+    return SweepRunner::toJson(sweepCells(seed, threads, stable));
 }
 
 } // namespace
@@ -90,4 +95,33 @@ TEST(SeedDeterminism, StableTelemetryZeroesWallClockFields)
     // telemetry (>= 200us, so it never formats as exactly "0").
     const std::string raw = sweepJson(42, 2, false);
     EXPECT_EQ(raw.find("\"runtime_s\": 0,"), std::string::npos);
+}
+
+TEST(SeedDeterminism, ChromeTraceStableAcrossRunsAndThreads)
+{
+    const std::string a =
+        SweepRunner::chromeTraceJson(sweepCells(42, 1, true));
+    const std::string b =
+        SweepRunner::chromeTraceJson(sweepCells(42, 4, true));
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(SeedDeterminism, ChromeTraceStableTelemetryZeroesTimestamps)
+{
+    const std::string stable =
+        SweepRunner::chromeTraceJson(sweepCells(7, 2, true));
+    // With telemetry zeroed every "X" span starts at ts 0 with
+    // dur 0, so the export is byte-stable.
+    for (const char *key : {"\"ts\": ", "\"dur\": "}) {
+        size_t pos = 0, found = 0;
+        while ((pos = stable.find(key, pos)) !=
+               std::string::npos) {
+            pos += std::string(key).size();
+            EXPECT_EQ(stable[pos], '0')
+                << key << "at offset " << pos;
+            ++found;
+        }
+        EXPECT_EQ(found, 9u) << key; // 3 workloads x 3 policies
+    }
 }
