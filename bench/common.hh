@@ -47,8 +47,9 @@ struct BenchOptions
     std::string events;
     /** --chrome-trace: trace_event JSON path for the sweep. */
     std::string chrome_trace;
-    /** --inject-fail: "<workload>:<policy>" cell forced to throw. */
-    std::string inject_fail;
+    /** --journal: base directory for durable sweep journals
+     *  (each sweep in the binary gets a sweep-NNN subdir). */
+    std::string journal;
 
     /** RL-specific scaling. */
     uint64_t rl_instructions = 300'000;
@@ -102,11 +103,30 @@ makeParser(const std::string &description)
                      "Perfetto) to this path");
     parser.addOption("inject-fail", "",
                      "Force sweep cell <workload>:<policy> to "
-                     "throw (exercises the failure path)");
+                     "throw (shorthand for --faults "
+                     "throw@<workload>:<policy>)");
+    parser.addOption("journal", "",
+                     "Durable sweep journal directory: completed "
+                     "cells are recorded with atomic writes and "
+                     "skipped when the run is restarted "
+                     "(docs/ROBUSTNESS.md)");
+    parser.addOption("cell-timeout", "0",
+                     "Watchdog deadline per sweep-cell attempt in "
+                     "seconds; a cell exceeding it is cancelled "
+                     "with a 'timeout' error (0 = off)");
+    parser.addOption("cell-retries", "0",
+                     "Re-run a cell up to N times after retryable "
+                     "failures (timeouts, transient faults) with "
+                     "decorrelated-jitter backoff");
+    parser.addOption("faults", "",
+                     "Fault-injection plan: comma list of "
+                     "kind[:N]@<index|workload:policy> or "
+                     "kind%rate; kinds: throw, transient, hang, "
+                     "abort, corrupt-journal");
     parser.addFlag("stable-json",
-                   "Zero wall-clock telemetry (runtime_s, mips) in "
-                   "JSON exports so same-seed runs are "
-                   "byte-identical");
+                   "Zero wall-clock telemetry (runtime_s, mips, "
+                   "retry_wait_s) in JSON exports so same-seed "
+                   "runs are byte-identical");
     parser.addFlag("csv", "Emit CSV instead of aligned tables");
     parser.addFlag("progress",
                    "Live sweep progress line (done/total, ETA) on "
@@ -139,7 +159,31 @@ makeOptions(const util::ArgParser &parser)
             parser.getUint("events-sample"));
     }
     opt.params.llc_epoch_length = parser.getUint("epoch");
-    opt.inject_fail = parser.get("inject-fail");
+    opt.journal = parser.get("journal");
+    opt.sweep.cell_timeout_s = parser.getDouble("cell-timeout");
+    opt.sweep.cell_retries =
+        static_cast<uint32_t>(parser.getUint("cell-retries"));
+    // Bench sweeps always drain gracefully on SIGINT/SIGTERM
+    // (finish in-flight cells' cancellation, flush journal and
+    // partial exports, exit nonzero).
+    opt.sweep.handle_signals = true;
+    {
+        std::string spec = parser.get("faults");
+        const std::string inject = parser.get("inject-fail");
+        if (!inject.empty()) {
+            // Legacy shorthand for throw@<workload>:<policy>.
+            if (!spec.empty())
+                spec += ',';
+            spec += "throw@" + inject;
+        }
+        if (!spec.empty()) {
+            try {
+                opt.sweep.faults = sim::FaultPlan::parse(spec);
+            } catch (const std::exception &e) {
+                util::fatal("{}", e.what());
+            }
+        }
+    }
     opt.csv = parser.getFlag("csv");
     opt.workloads = parser.getList("workloads");
     opt.policies = parser.getList("policies");
@@ -173,20 +217,29 @@ collectedCells()
     return cells;
 }
 
-/** Install the --inject-fail fault hook on @p runner. */
-inline void
-applyInjectFail(sim::SweepRunner &runner, const BenchOptions &opt)
+/** Robustness counters merged over every sweep in this binary. */
+inline stats::StatSet &
+sweepStats()
 {
-    if (opt.inject_fail.empty())
-        return;
-    const std::string target = opt.inject_fail;
-    runner.setCellFn([target](const sim::SweepRunner::CellSpec &s,
-                              const sim::SimParams &p) {
-        if (s.workload + ":" + s.policy == target)
-            throw std::runtime_error(
-                "injected failure (--inject-fail)");
-        return sim::runWorkloads(s.cores, p);
-    });
+    static stats::StatSet set("sweep");
+    return set;
+}
+
+/**
+ * Per-sweep options: each sweep a binary runs gets its own
+ * journal subdirectory (<base>/sweep-NNN), so a figure with
+ * several sweeps resumes each one independently.
+ */
+inline sim::SweepOptions
+nextSweepOptions(const BenchOptions &opt)
+{
+    sim::SweepOptions sweep = opt.sweep;
+    if (!opt.journal.empty()) {
+        static int counter = 0;
+        sweep.journal_dir = opt.journal + "/sweep-" +
+                            std::to_string(counter++);
+    }
+    return sweep;
 }
 
 } // namespace detail
@@ -203,9 +256,9 @@ runSweep(const BenchOptions &opt, const sim::SimParams &params,
          const std::vector<std::string> &workloads,
          const std::vector<std::string> &policies)
 {
-    sim::SweepRunner runner(params, opt.sweep);
-    detail::applyInjectFail(runner, opt);
+    sim::SweepRunner runner(params, detail::nextSweepOptions(opt));
     auto cells = runner.run(workloads, policies);
+    detail::sweepStats().merge(runner.stats());
     detail::collectedCells().insert(detail::collectedCells().end(),
                                     cells.begin(), cells.end());
     return cells;
@@ -222,8 +275,10 @@ runSweep(const BenchOptions &opt,
 
 /**
  * Shared epilogue for every bench main: write the --json export
- * (all sweeps combined), print an error table when any cell
- * failed, and return the process exit status (1 on any failure).
+ * (all sweeps combined, even after a signal drain), print the
+ * sweep robustness counters when any fired, print an error table
+ * when any cell failed, and return the process exit status
+ * (1 on any cell failure, 130 after a SIGINT/SIGTERM drain).
  */
 inline int
 finish(const BenchOptions &opt)
@@ -243,6 +298,19 @@ finish(const BenchOptions &opt)
     }
     if (!opt.chrome_trace.empty())
         sim::SweepRunner::writeChromeTrace(opt.chrome_trace, cells);
+    const auto &robustness = detail::sweepStats();
+    if (robustness.value("retries") + robustness.value("timeouts") +
+            robustness.value("resumed_cells") +
+            robustness.value("cancelled_cells") >
+        0) {
+        std::puts("\n=== Sweep robustness ===");
+        std::fputs(robustness.dump().c_str(), stdout);
+    }
+    if (sim::SweepRunner::interrupted()) {
+        std::puts("\ninterrupted: sweep drained after signal "
+                  "(journal and partial exports written)");
+        return 130;
+    }
     if (!sim::SweepRunner::anyFailed(cells))
         return 0;
     std::puts("\n=== Failed sweep cells ===");
@@ -384,9 +452,10 @@ multicoreSweep(const BenchOptions &opt,
         for (const auto &p : policies)
             specs.push_back(sim::SweepRunner::CellSpec{
                 mixLabel(m, mixes[m]), p, mixes[m]});
-    sim::SweepRunner runner(opt.params, opt.sweep);
-    detail::applyInjectFail(runner, opt);
+    sim::SweepRunner runner(opt.params,
+                            detail::nextSweepOptions(opt));
     const auto sweep_cells = runner.runCells(std::move(specs));
+    detail::sweepStats().merge(runner.stats());
     detail::collectedCells().insert(detail::collectedCells().end(),
                                     sweep_cells.begin(),
                                     sweep_cells.end());

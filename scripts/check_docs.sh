@@ -13,7 +13,10 @@
 #      from docs/TESTING.md, or the test scripts are undocumented;
 #   7. a tools/inspect flag is absent from docs/OBSERVABILITY.md,
 #      or the llc.epoch.* / llc.events.* stat families are
-#      undocumented there.
+#      undocumented there;
+#   8. the robustness layer (docs/ROBUSTNESS.md) is out of sync:
+#      a sweep robustness flag, a FaultPlan kind, a sweep.*
+#      counter, or the crash-resume harness is undocumented.
 #
 # Pure grep/sed over the sources: runs without a compiler, so it
 # can gate doc-only changes too. Run from the repository root.
@@ -29,7 +32,8 @@ err() {
 }
 
 for f in README.md docs/POLICIES.md docs/ARCHITECTURE.md \
-         docs/TESTING.md docs/OBSERVABILITY.md EXPERIMENTS.md; do
+         docs/TESTING.md docs/OBSERVABILITY.md \
+         docs/ROBUSTNESS.md EXPERIMENTS.md; do
     [ -f "$f" ] || err "required doc '$f' is missing"
 done
 [ "$fail" -eq 0 ] || exit 1
@@ -119,6 +123,37 @@ for needle in "llc.epoch." "llc.events." scripts/inspect_e2e.sh; do
     grep -q "$needle" docs/OBSERVABILITY.md ||
         err "'$needle' is not documented in docs/OBSERVABILITY.md"
 done
+
+# --- 8. the robustness layer is documented --------------------------
+# The sweep robustness flags, every FaultPlan kind (the
+# authoritative list is faultKindName() in fault_plan.cc), the
+# sweep.* counters, and the crash-resume harness must all appear
+# in docs/ROBUSTNESS.md.
+for f in journal cell-timeout cell-retries faults; do
+    grep -q -- "--$f" docs/ROBUSTNESS.md ||
+        err "robustness flag '--$f' is not documented in" \
+            "docs/ROBUSTNESS.md"
+done
+fault_kinds=$(sed -n '/^faultKindName/,/^}/p' \
+                  src/sim/fault_plan.cc |
+              grep -o 'return "[a-z-]*"' | sed 's/return "//; s/"//' |
+              grep -v '^none$')
+[ -n "$fault_kinds" ] ||
+    err "could not extract fault kinds from fault_plan.cc"
+for k in $fault_kinds; do
+    grep -q "\`$k\`" docs/ROBUSTNESS.md ||
+        err "fault kind '$k' is not documented in" \
+            "docs/ROBUSTNESS.md"
+done
+for c in completed_cells resumed_cells retries timeouts \
+         failed_cells cancelled_cells; do
+    grep -q "sweep.$c" docs/ROBUSTNESS.md ||
+        err "counter 'sweep.$c' is not documented in" \
+            "docs/ROBUSTNESS.md"
+done
+grep -q "scripts/crash_resume_e2e.sh" docs/ROBUSTNESS.md ||
+    err "'scripts/crash_resume_e2e.sh' is not referenced in" \
+        "docs/ROBUSTNESS.md"
 
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED (see messages above)" >&2

@@ -2,7 +2,10 @@
 # Full CI pipeline: the tier-1 build + test pass in Release, then
 # the same test suite rebuilt with AddressSanitizer + UBSan
 # (-DRLR_SANITIZE=address,undefined, recovery disabled so any
-# report is fatal). Both stages must pass.
+# report is fatal). Each stage additionally runs the crash-resume
+# harness (scripts/crash_resume_e2e.sh) standalone against its own
+# binaries, so the kill-and-resume guarantee is proven both in
+# Release and under the sanitizers. All stages must pass.
 #
 # Usage: scripts/ci.sh [-j N]
 #   -j N   parallel build/test jobs (default: nproc)
@@ -30,7 +33,16 @@ run_stage() {
     ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
 
+run_crash_resume() {
+    local label="$1" dir="$2"
+    echo "=== ci: crash-resume $label ==="
+    scripts/crash_resume_e2e.sh \
+        --fig12-bin="$dir/bench/fig12_mpki" \
+        --inspect-bin="$dir/tools/inspect"
+}
+
 run_stage "release" build -DCMAKE_BUILD_TYPE=Release
+run_crash_resume "release" build
 
 # Sanitizer stage: RelWithDebInfo keeps line numbers in reports
 # without debug-build slowness; halt_on_error via
@@ -40,5 +52,8 @@ UBSAN_OPTIONS="print_stacktrace=1" \
 run_stage "asan+ubsan" build-san \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DRLR_SANITIZE=address,undefined
+ASAN_OPTIONS="detect_leaks=0" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+run_crash_resume "asan+ubsan" build-san
 
 echo "=== ci: all stages passed ==="

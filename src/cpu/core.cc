@@ -141,6 +141,12 @@ O3Core::run(trace::InstructionSource &source, uint64_t count)
 {
     trace::Instruction instr;
     for (uint64_t i = 0; i < count; ++i) {
+        // Cancellation checkpoint: the mask test keeps the
+        // disabled path at one predicted branch per instruction.
+        if ((i & (util::kCancelCheckInterval - 1)) == 0 &&
+            cancel_ != nullptr && cancel_->cancelled()) {
+            throw util::CancelledError(cancel_->reason());
+        }
         if (!source.next(instr)) {
             source.reset();
             if (!source.next(instr))

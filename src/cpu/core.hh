@@ -24,6 +24,7 @@
 #include "stats/registry.hh"
 #include "stats/stats.hh"
 #include "trace/record.hh"
+#include "util/cancel_token.hh"
 
 namespace rlr::cpu
 {
@@ -63,8 +64,23 @@ class O3Core
     /**
      * Run @p count instructions from @p source (rewinding finite
      * sources when they end).
+     * @throws util::CancelledError at the next checkpoint (every
+     *         util::kCancelCheckInterval instructions) once an
+     *         attached cancel token has been cancelled.
      */
     void run(trace::InstructionSource &source, uint64_t count);
+
+    /**
+     * Attach a cooperative cancellation token polled by run()
+     * (borrowed; null detaches — the default, whose only cost is
+     * one predicted branch per checkpoint, bounded <1% by
+     * test_cancel_token).
+     */
+    void
+    setCancelToken(const util::CancelToken *token)
+    {
+        cancel_ = token;
+    }
 
     /** Current core cycle (monotonic). */
     uint64_t cycles() const { return cycle_; }
@@ -111,6 +127,8 @@ class O3Core
     uint8_t cpu_id_;
     cache::MemoryLevel *l1i_;
     cache::MemoryLevel *l1d_;
+    /** Borrowed cancellation token; null = no checkpointing. */
+    const util::CancelToken *cancel_ = nullptr;
     GsharePredictor bp_;
 
     uint64_t cycle_ = 0;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "stats/export.hh"
+#include "util/atomic_file.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 
@@ -80,15 +81,8 @@ writeChromeTrace(const std::string &path,
                  const std::vector<TraceSpan> &spans,
                  const std::string &process_name)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        util::fatal("cannot open chrome-trace path '{}'", path);
-    const std::string json = chromeTraceJson(spans, process_name);
-    const size_t written =
-        std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    if (written != json.size())
-        util::fatal("short write to chrome-trace path '{}'", path);
+    util::atomicWriteFileOrFatal(
+        path, chromeTraceJson(spans, process_name));
 }
 
 } // namespace rlr::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "stats/export.hh"
+#include "util/atomic_file.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 
@@ -232,15 +233,7 @@ void
 writeEvents(const std::string &path,
             const std::vector<CellEvents> &cells)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        util::fatal("cannot open events export path '{}'", path);
-    const std::string json = eventsToJson(cells);
-    const size_t written =
-        std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    if (written != json.size())
-        util::fatal("short write to events export path '{}'", path);
+    util::atomicWriteFileOrFatal(path, eventsToJson(cells));
 }
 
 std::vector<CellEvents>

@@ -59,6 +59,7 @@ runWorkloads(const std::vector<std::string> &workloads,
     sys_cfg.llc_events_capacity = params.llc_events_capacity;
     sys_cfg.llc_events_sample_sets = params.llc_events_sample_sets;
     sys_cfg.llc_epoch_length = params.llc_epoch_length;
+    sys_cfg.cancel = params.cancel;
     System system(sys_cfg);
 
     std::vector<std::unique_ptr<trace::SyntheticGenerator>> gens;

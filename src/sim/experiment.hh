@@ -39,6 +39,15 @@ struct SimParams
     uint32_t llc_events_sample_sets = 1;
     /** LLC epoch length in accesses; 0 disables the sampler. */
     uint64_t llc_epoch_length = 0;
+
+    /**
+     * Cancellation token polled by the run loops (borrowed; null
+     * = no checkpointing). runWorkloads throws
+     * util::CancelledError at the next checkpoint after a cancel
+     * — the SweepRunner's watchdog and signal drain hang off
+     * this.
+     */
+    const util::CancelToken *cancel = nullptr;
 };
 
 /** Per-core outcome of a run. */
@@ -120,6 +129,16 @@ struct SweepCell
     double mips = 0.0;
     /** Non-empty when the cell failed; result is default-valued. */
     std::string error;
+
+    /** Attempts consumed (1 + retries actually taken). */
+    uint32_t attempts = 1;
+    /** Total backoff wall-clock slept between attempts. */
+    double retry_wait_s = 0.0;
+    /** The final attempt was reaped by the --cell-timeout
+     *  watchdog (error records "timeout ..."). */
+    bool timed_out = false;
+    /** Loaded from a sweep journal instead of re-run. */
+    bool resumed = false;
 
     bool ok() const { return error.empty(); }
 };

@@ -1,17 +1,29 @@
 #include "sim/sweep_runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "obs/chrome_trace.hh"
+#include "sim/journal.hh"
 #include "stats/export.hh"
+#include "util/atomic_file.hh"
+#include "util/cancel_token.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "util/thread_pool.hh"
+
+#ifndef RLR_GIT_DESCRIBE
+#define RLR_GIT_DESCRIBE "unknown"
+#endif
 
 namespace rlr::sim
 {
@@ -25,6 +37,14 @@ double
 secondsSince(Clock::time_point t0)
 {
     return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+int64_t
+nowMillis()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now().time_since_epoch())
+        .count();
 }
 
 /** FNV-1a over the label; stable across platforms and runs. */
@@ -53,6 +73,124 @@ mix64(uint64_t x)
 using stats::json::escape;
 using stats::json::number;
 
+// ---- signal drain -----------------------------------------------
+//
+// The handler only records the signal number; the sweep's monitor
+// thread notices the flag and performs the actual drain (cancel
+// in-flight cells, skip pending ones). The flag is process-global
+// and sticky, so once a drain starts every later sweep in the same
+// process drains immediately too — Ctrl-C stops the whole bench,
+// not just the current figure.
+
+std::atomic<int> g_signal_caught{0};
+std::atomic<bool> g_sweep_interrupted{false};
+
+void
+sweepSignalHandler(int signo)
+{
+    g_signal_caught.store(signo, std::memory_order_relaxed);
+    // A second signal kills the process the default way.
+    std::signal(signo, SIG_DFL);
+}
+
+/** Installs drain handlers for the sweep; restores on scope exit. */
+class SignalGuard
+{
+  public:
+    explicit SignalGuard(bool enable) : active_(enable)
+    {
+        if (!active_)
+            return;
+        struct sigaction sa = {};
+        sa.sa_handler = sweepSignalHandler;
+        sigemptyset(&sa.sa_mask);
+        sigaction(SIGINT, &sa, &old_int_);
+        sigaction(SIGTERM, &sa, &old_term_);
+    }
+    ~SignalGuard()
+    {
+        if (!active_)
+            return;
+        sigaction(SIGINT, &old_int_, nullptr);
+        sigaction(SIGTERM, &old_term_, nullptr);
+    }
+    SignalGuard(const SignalGuard &) = delete;
+    SignalGuard &operator=(const SignalGuard &) = delete;
+
+  private:
+    bool active_;
+    struct sigaction old_int_ = {};
+    struct sigaction old_term_ = {};
+};
+
+/** Per-cell watchdog state shared with the monitor thread. */
+struct AttemptSlot
+{
+    util::CancelToken token;
+    /** Deadline in steady-clock millis; -1 = no attempt armed. */
+    std::atomic<int64_t> deadline_ms{-1};
+};
+
+/**
+ * Decorrelated jitter (the AWS architecture-blog variant): each
+ * wait is uniform in [base, 3 * previous], capped. @p prev is
+ * updated in place.
+ */
+double
+decorrelatedJitter(util::Rng &rng, double &prev, double base,
+                   double cap)
+{
+    const double hi = std::max(base, prev * 3.0);
+    double wait = base + rng.nextDouble() * (hi - base);
+    wait = std::min(wait, std::max(base, cap));
+    prev = wait;
+    return wait;
+}
+
+/** Sleep @p seconds in small slices, bailing on drain. */
+void
+sleepInterruptible(double seconds,
+                   const std::atomic<bool> &draining)
+{
+    const auto t0 = Clock::now();
+    while (secondsSince(t0) < seconds &&
+           !draining.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(5));
+    }
+}
+
+/** Raise the configured fault before the cell body runs. */
+void
+injectFault(const FaultAction &fault, uint32_t attempt,
+            const util::CancelToken &token)
+{
+    switch (fault.kind) {
+      case FaultKind::None:
+      case FaultKind::AbortProcess:   // handled before the loop
+      case FaultKind::CorruptJournal: // handled at journal time
+        return;
+      case FaultKind::Throw:
+        throw std::runtime_error("injected fault: throw");
+      case FaultKind::Transient:
+        if (attempt <= fault.fail_attempts) {
+            throw RetryableError(util::format(
+                "injected fault: transient (attempt {} of {})",
+                attempt, fault.fail_attempts));
+        }
+        return;
+      case FaultKind::Hang:
+        // Block exactly like a wedged simulation would: the only
+        // way out is the cooperative cancel token (watchdog
+        // timeout or signal drain).
+        while (!token.cancelled()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        throw util::CancelledError(token.reason());
+    }
+}
+
 } // namespace
 
 SweepRunner::SweepRunner(SimParams params, SweepOptions opts)
@@ -65,6 +203,12 @@ SweepRunner::cellSeed(uint64_t master_seed,
                       const std::string &workload)
 {
     return mix64(master_seed ^ hashLabel(workload));
+}
+
+bool
+SweepRunner::interrupted()
+{
+    return g_sweep_interrupted.load(std::memory_order_relaxed);
 }
 
 std::vector<SweepCell>
@@ -82,65 +226,279 @@ SweepRunner::run(const std::vector<std::string> &workloads,
 std::vector<SweepCell>
 SweepRunner::runCells(std::vector<CellSpec> specs)
 {
-    std::vector<SweepCell> cells(specs.size());
-    for (size_t i = 0; i < specs.size(); ++i) {
+    const size_t n = specs.size();
+    std::vector<SweepCell> cells(n);
+    for (size_t i = 0; i < n; ++i) {
         cells[i].workload = specs[i].workload;
         cells[i].policy = specs[i].policy;
         cells[i].seed = cellSeed(params_.seed, specs[i].workload);
     }
 
+    // ---- journal open + resume ----------------------------------
+    std::unique_ptr<SweepJournal> journal;
+    std::vector<uint64_t> hashes(n, 0);
+    std::vector<char> resumed_mask(n, 0);
+    size_t resumed = 0;
+    if (!opts_.journal_dir.empty()) {
+        for (size_t i = 0; i < n; ++i)
+            hashes[i] =
+                SweepJournal::specHash(specs[i], cells[i].seed);
+        JournalHeader header;
+        header.master_seed = params_.seed;
+        header.config_hash = sweepConfigHash(params_, specs);
+        header.build = RLR_GIT_DESCRIBE;
+        header.n_cells = n;
+        try {
+            journal = std::make_unique<SweepJournal>(
+                opts_.journal_dir, header);
+        } catch (const std::exception &e) {
+            util::fatal("{}", e.what());
+        }
+        if (params_.llc_events_capacity > 0) {
+            util::warn("--journal does not persist LLC event "
+                       "logs; resumed cells carry empty events");
+        }
+        for (size_t i = 0; i < n; ++i) {
+            if (journal->load(hashes[i], specs[i], cells[i].seed,
+                              cells[i])) {
+                cells[i].resumed = true;
+                resumed_mask[i] = 1;
+                ++resumed;
+            }
+        }
+    }
+
+    std::vector<size_t> pending;
+    pending.reserve(n - resumed);
+    for (size_t i = 0; i < n; ++i)
+        if (!resumed_mask[i])
+            pending.push_back(i);
+
+    // ---- watchdog / signal-drain monitor ------------------------
+    std::vector<AttemptSlot> slots(n);
+    std::atomic<bool> draining{false};
+    std::atomic<bool> monitor_stop{false};
+    SignalGuard signal_guard(opts_.handle_signals);
+    // A sweep in an already-interrupted process drains at once.
+    if (opts_.handle_signals &&
+        g_signal_caught.load(std::memory_order_relaxed) != 0) {
+        draining.store(true);
+        g_sweep_interrupted.store(true);
+    }
+
+    const bool want_monitor =
+        opts_.handle_signals || opts_.cell_timeout_s > 0.0;
+    std::thread monitor;
+    if (want_monitor && !pending.empty()) {
+        monitor = std::thread([&] {
+            while (!monitor_stop.load(std::memory_order_relaxed)) {
+                const int sig = g_signal_caught.load(
+                    std::memory_order_relaxed);
+                if (opts_.handle_signals && sig != 0) {
+                    if (!draining.exchange(true)) {
+                        g_sweep_interrupted.store(true);
+                        std::fprintf(
+                            stderr,
+                            "\n[sweep] caught signal %d: "
+                            "draining (cancelling in-flight "
+                            "cells, keeping journal + partial "
+                            "JSON)\n",
+                            sig);
+                    }
+                    // Re-cancel every poll: attempts armed in the
+                    // race window still get the signal reason.
+                    for (auto &slot : slots) {
+                        slot.token.cancel(
+                            util::CancelToken::Reason::Signal);
+                    }
+                }
+                if (opts_.cell_timeout_s > 0.0) {
+                    const int64_t now = nowMillis();
+                    for (auto &slot : slots) {
+                        const int64_t deadline =
+                            slot.deadline_ms.load(
+                                std::memory_order_relaxed);
+                        if (deadline >= 0 && now > deadline) {
+                            slot.token.cancel(
+                                util::CancelToken::Reason::
+                                    Timeout);
+                        }
+                    }
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+        });
+    }
+
+    // ---- parallel cell execution --------------------------------
     const auto sweep_start = Clock::now();
-    std::atomic<size_t> done{0};
+    std::atomic<size_t> done{resumed};
+    std::atomic<uint64_t> retry_count{0};
+    std::atomic<uint64_t> timeout_count{0};
+    std::atomic<uint64_t> failed_count{0};
+    std::atomic<uint64_t> cancelled_count{0};
+    std::atomic<uint64_t> completed_count{0};
     std::mutex progress_mutex;
 
-    util::ThreadPool::parallelFor(
-        specs.size(), opts_.threads, [&](size_t i) {
-            SweepCell &cell = cells[i];
-            SimParams p = params_;
-            p.llc_policy = cell.policy;
-            p.seed = cell.seed;
-            const auto cell_start = Clock::now();
-            cell.start_seconds = secondsSince(sweep_start);
+    auto bump_progress = [&] {
+        const size_t n_done = done.fetch_add(1) + 1;
+        if (!opts_.progress)
+            return;
+        const double elapsed = secondsSince(sweep_start);
+        const size_t fresh = n_done - resumed;
+        const double eta =
+            fresh == 0 ? 0.0
+                       : elapsed / static_cast<double>(fresh) *
+                             static_cast<double>(n - n_done);
+        std::scoped_lock lock(progress_mutex);
+        std::fprintf(stderr,
+                     "\r[sweep] %zu/%zu cells (%zu resumed), "
+                     "%.1fs elapsed, eta %.1fs   ",
+                     n_done, n, resumed, elapsed, eta);
+        std::fflush(stderr);
+    };
+
+    auto run_one = [&](size_t i) {
+        SweepCell &cell = cells[i];
+        const CellSpec &spec = specs[i];
+        AttemptSlot &slot = slots[i];
+        const FaultAction fault = opts_.faults.actionFor(
+            i, spec.workload + ":" + spec.policy, cell.seed);
+
+        // Deterministic crash for the crash/resume harness: die
+        // the instant this cell is reached, no flushing.
+        if (fault.kind == FaultKind::AbortProcess &&
+            !draining.load(std::memory_order_relaxed)) {
+            std::raise(SIGKILL);
+        }
+
+        SimParams p = params_;
+        p.llc_policy = cell.policy;
+        p.seed = cell.seed;
+        p.cancel = &slot.token;
+
+        const auto cell_start = Clock::now();
+        cell.start_seconds = secondsSince(sweep_start);
+
+        const uint32_t max_attempts = 1 + opts_.cell_retries;
+        double backoff_prev = opts_.retry_base_s;
+        util::Rng retry_rng(mix64(cell.seed ^ 0x7265747279ULL));
+        bool signal_cancelled = false;
+
+        for (uint32_t attempt = 1; attempt <= max_attempts;
+             ++attempt) {
+            cell.attempts = attempt;
+            cell.error.clear();
+            cell.timed_out = false;
+            if (draining.load(std::memory_order_relaxed)) {
+                cell.error = "cancelled: signal";
+                signal_cancelled = true;
+                break;
+            }
+            slot.token.reset();
+            if (opts_.cell_timeout_s > 0.0) {
+                slot.deadline_ms.store(
+                    nowMillis() +
+                        static_cast<int64_t>(
+                            opts_.cell_timeout_s * 1000.0),
+                    std::memory_order_relaxed);
+            }
+            bool retryable = false;
             try {
+                injectFault(fault, attempt, slot.token);
                 cell.result = cell_fn_
-                                  ? cell_fn_(specs[i], p)
-                                  : runWorkloads(specs[i].cores, p);
+                                  ? cell_fn_(spec, p)
+                                  : runWorkloads(spec.cores, p);
+            } catch (const util::CancelledError &e) {
+                using Reason = util::CancelToken::Reason;
+                if (e.reason() == Reason::Signal) {
+                    cell.error = "cancelled: signal";
+                    signal_cancelled = true;
+                } else if (e.reason() == Reason::Timeout) {
+                    // Derived from the flag value, not measured
+                    // time, so resumed exports stay byte-equal.
+                    cell.error = util::format(
+                        "timeout: attempt exceeded "
+                        "--cell-timeout {}s",
+                        number(opts_.cell_timeout_s));
+                    cell.timed_out = true;
+                    retryable = true;
+                    timeout_count.fetch_add(1);
+                } else {
+                    cell.error = e.what();
+                }
+            } catch (const RetryableError &e) {
+                cell.error = e.what();
+                retryable = true;
             } catch (const std::exception &e) {
                 cell.error = e.what();
             } catch (...) {
                 cell.error = "unknown exception";
             }
-            cell.wall_seconds = secondsSince(cell_start);
-            if (cell.ok() && cell.wall_seconds > 0.0) {
-                cell.mips =
-                    static_cast<double>(
-                        cell.result.total_instructions) /
-                    cell.wall_seconds / 1e6;
-            }
+            slot.deadline_ms.store(-1,
+                                   std::memory_order_relaxed);
+            if (signal_cancelled || cell.ok())
+                break;
+            if (!retryable || attempt == max_attempts)
+                break;
+            retry_count.fetch_add(1);
+            const double wait = decorrelatedJitter(
+                retry_rng, backoff_prev, opts_.retry_base_s,
+                opts_.retry_cap_s);
+            cell.retry_wait_s += wait;
+            sleepInterruptible(wait, draining);
+        }
 
-            const size_t n_done = done.fetch_add(1) + 1;
-            if (!opts_.progress)
-                return;
-            const double elapsed = secondsSince(sweep_start);
-            const double eta =
-                elapsed / static_cast<double>(n_done) *
-                static_cast<double>(specs.size() - n_done);
-            std::scoped_lock lock(progress_mutex);
-            std::fprintf(stderr,
-                         "\r[sweep] %zu/%zu cells, %.1fs elapsed, "
-                         "eta %.1fs   ",
-                         n_done, specs.size(), elapsed, eta);
-            std::fflush(stderr);
-        });
+        cell.wall_seconds = secondsSince(cell_start);
+        if (cell.ok() && cell.wall_seconds > 0.0) {
+            cell.mips = static_cast<double>(
+                            cell.result.total_instructions) /
+                        cell.wall_seconds / 1e6;
+        }
+
+        if (signal_cancelled) {
+            // Not a final outcome — the cell re-runs on resume.
+            cancelled_count.fetch_add(1);
+        } else {
+            completed_count.fetch_add(1);
+            if (!cell.ok())
+                failed_count.fetch_add(1);
+            if (journal) {
+                journal->append(
+                    hashes[i], cell,
+                    fault.kind == FaultKind::CorruptJournal);
+            }
+        }
+        bump_progress();
+    };
+
+    util::ThreadPool::parallelFor(
+        pending.size(), opts_.threads,
+        [&](size_t k) { run_one(pending[k]); });
+
+    monitor_stop.store(true);
+    if (monitor.joinable())
+        monitor.join();
 
     if (opts_.progress)
         std::fputc('\n', stderr);
+
+    sweep_stats_.reset();
+    sweep_stats_.counter("completed_cells") = completed_count;
+    sweep_stats_.counter("resumed_cells") = resumed;
+    sweep_stats_.counter("retries") = retry_count;
+    sweep_stats_.counter("timeouts") = timeout_count;
+    sweep_stats_.counter("failed_cells") = failed_count;
+    sweep_stats_.counter("cancelled_cells") = cancelled_count;
+
     if (opts_.stable_telemetry) {
         // Leave only seed-determined fields in the export.
         for (auto &cell : cells) {
             cell.start_seconds = 0.0;
             cell.wall_seconds = 0.0;
             cell.mips = 0.0;
+            cell.retry_wait_s = 0.0;
         }
     }
     if (!opts_.json_path.empty())
@@ -219,6 +577,9 @@ SweepRunner::toJson(const std::vector<SweepCell> &cells)
         out += util::format("\"runtime_s\": {}, ",
                             number(c.wall_seconds));
         out += util::format("\"mips\": {}, ", number(c.mips));
+        out += util::format("\"attempts\": {}, ", c.attempts);
+        out += util::format("\"retry_wait_s\": {}, ",
+                            number(c.retry_wait_s));
         out += c.ok() ? "\"error\": null"
                       : util::format("\"error\": \"{}\"",
                                      escape(c.error));
@@ -261,30 +622,14 @@ void
 SweepRunner::writeChromeTrace(const std::string &path,
                               const std::vector<SweepCell> &cells)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        util::fatal("cannot open chrome-trace path '{}'", path);
-    const std::string json = chromeTraceJson(cells);
-    const size_t written =
-        std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    if (written != json.size())
-        util::fatal("short write to chrome-trace path '{}'", path);
+    util::atomicWriteFileOrFatal(path, chromeTraceJson(cells));
 }
 
 void
 SweepRunner::writeJson(const std::string &path,
                        const std::vector<SweepCell> &cells)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        util::fatal("cannot open JSON export path '{}'", path);
-    const std::string json = toJson(cells);
-    const size_t written =
-        std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    if (written != json.size())
-        util::fatal("short write to JSON export path '{}'", path);
+    util::atomicWriteFileOrFatal(path, toJson(cells));
 }
 
 } // namespace rlr::sim

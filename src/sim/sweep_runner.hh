@@ -1,7 +1,8 @@
 /**
  * @file
- * SweepRunner — the fault-isolated, observable parallel experiment
- * engine behind every (workload x policy) sweep.
+ * SweepRunner — the fault-isolated, observable, crash-safe
+ * parallel experiment engine behind every (workload x policy)
+ * sweep.
  *
  * Each cell runs in isolation on a worker thread with a seed
  * derived deterministically from the master seed and the cell's
@@ -12,14 +13,37 @@
  * sweep: the remaining cells still run, and callers decide how to
  * surface the failure (error table, JSON export, exit status).
  *
+ * Robustness (docs/ROBUSTNESS.md):
+ *  - a durable journal (SweepOptions::journal_dir) records each
+ *    completed cell with an atomic write; restarting the same
+ *    sweep skips journaled cells, and under stable_telemetry the
+ *    resumed JSON export is byte-identical to an uninterrupted
+ *    run's;
+ *  - a watchdog (SweepOptions::cell_timeout_s) cancels attempts
+ *    that exceed their deadline via the cooperative CancelToken
+ *    threaded through the core run loops;
+ *  - retryable failures (watchdog timeouts, injected transient
+ *    faults) are re-run up to SweepOptions::cell_retries times
+ *    with decorrelated-jitter backoff;
+ *  - SIGINT/SIGTERM (SweepOptions::handle_signals) trigger a
+ *    graceful drain: in-flight cells are cancelled, finished
+ *    cells stay journaled, and the partial JSON export is still
+ *    written;
+ *  - a FaultPlan (SweepOptions::faults) injects throw / hang /
+ *    abort / corrupt-journal / transient faults per cell for
+ *    testing all of the above.
+ *
  * Observability:
  *  - per-cell wall-clock runtime and simulated-instruction
- *    throughput (MIPS) recorded on every SweepCell;
+ *    throughput (MIPS) recorded on every SweepCell, plus attempt
+ *    counts and cumulative retry backoff;
+ *  - sweep-level robustness counters (sweep.retries,
+ *    sweep.timeouts, sweep.resumed_cells, ...) via stats();
  *  - an optional live progress line (cells done / total, ETA) on
  *    stderr, gated behind SweepOptions::progress;
  *  - an optional machine-readable JSON export of every cell
  *    (workload, policy, seed, hit rate, MPKI, IPC, runtime,
- *    error) via SweepOptions::json_path or writeJson().
+ *    attempts, error) via SweepOptions::json_path or writeJson().
  */
 
 #ifndef RLR_SIM_SWEEP_RUNNER_HH
@@ -30,6 +54,8 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/fault_plan.hh"
+#include "stats/stats.hh"
 #include "util/table.hh"
 
 namespace rlr::sim
@@ -45,11 +71,32 @@ struct SweepOptions
     /** When non-empty, write a JSON export here after the run. */
     std::string json_path;
     /**
-     * Zero the wall-clock telemetry (runtime_s, mips) on every
-     * cell so exports are byte-identical across runs of the same
-     * seed (reproducibility checks, golden files).
+     * Zero the wall-clock telemetry (runtime_s, mips,
+     * retry_wait_s) on every cell so exports are byte-identical
+     * across runs of the same seed (reproducibility checks,
+     * golden files).
      */
     bool stable_telemetry = false;
+
+    /**
+     * When non-empty, journal each completed cell into this
+     * directory and resume from it on restart (sim/journal.hh).
+     */
+    std::string journal_dir;
+    /** Watchdog deadline per cell attempt in seconds; 0 = off. */
+    double cell_timeout_s = 0.0;
+    /** Retries per cell for retryable failures (timeouts,
+     *  RetryableError). 0 = fail on first error. */
+    uint32_t cell_retries = 0;
+    /** Decorrelated-jitter backoff: base and cap in seconds. */
+    double retry_base_s = 0.05;
+    double retry_cap_s = 2.0;
+    /** Install SIGINT/SIGTERM graceful-drain handlers while the
+     *  sweep runs (finish/cancel in-flight cells, flush journal
+     *  and partial JSON, leave the process to exit nonzero). */
+    bool handle_signals = false;
+    /** Fault injection plan (tests, crash/resume harness). */
+    FaultPlan faults;
 };
 
 /** Fault-isolated parallel (workload x policy) experiment engine. */
@@ -91,6 +138,20 @@ class SweepRunner
     static uint64_t cellSeed(uint64_t master_seed,
                              const std::string &workload);
 
+    /**
+     * Robustness counters of the last runCells() call:
+     * sweep.completed_cells, sweep.resumed_cells, sweep.retries,
+     * sweep.timeouts, sweep.failed_cells, sweep.cancelled_cells.
+     */
+    const stats::StatSet &stats() const { return sweep_stats_; }
+
+    /**
+     * @return true when a SIGINT/SIGTERM drain interrupted the
+     * last handle_signals sweep in this process (callers should
+     * exit nonzero).
+     */
+    static bool interrupted();
+
     /** @return true when any cell recorded an error. */
     static bool anyFailed(const std::vector<SweepCell> &cells);
 
@@ -100,7 +161,8 @@ class SweepRunner
     /** JSON array of every cell's result and telemetry. */
     static std::string toJson(const std::vector<SweepCell> &cells);
 
-    /** Write toJson(cells) to @p path; fatal() on I/O failure. */
+    /** Atomically write toJson(cells) to @p path; fatal() on I/O
+     *  failure. */
     static void writeJson(const std::string &path,
                           const std::vector<SweepCell> &cells);
 
@@ -115,7 +177,7 @@ class SweepRunner
     static std::string
     chromeTraceJson(const std::vector<SweepCell> &cells);
 
-    /** Write chromeTraceJson(cells) to @p path. */
+    /** Atomically write chromeTraceJson(cells) to @p path. */
     static void writeChromeTrace(const std::string &path,
                                  const std::vector<SweepCell> &cells);
 
@@ -123,6 +185,7 @@ class SweepRunner
     SimParams params_;
     SweepOptions opts_;
     CellFn cell_fn_;
+    stats::StatSet sweep_stats_{"sweep"};
 };
 
 } // namespace rlr::sim

@@ -107,6 +107,7 @@ System::System(const SystemConfig &config) : config_(config)
         auto core = std::make_unique<cpu::O3Core>(
             config_.core, static_cast<uint8_t>(i), l1i.get(),
             l1d.get());
+        core->setCancelToken(config_.cancel);
 
         l2_.push_back(std::move(l2));
         l1i_.push_back(std::move(l1i));

@@ -18,6 +18,7 @@
 #include "obs/event_log.hh"
 #include "stats/registry.hh"
 #include "trace/trace_io.hh"
+#include "util/cancel_token.hh"
 
 namespace rlr::sim
 {
@@ -68,6 +69,13 @@ struct SystemConfig
     /** LLC epoch sampler: epoch length in LLC accesses;
      *  0 disables. */
     uint64_t llc_epoch_length = 0;
+
+    /**
+     * Cooperative cancellation token polled by every core's run
+     * loop (borrowed; null = no checkpointing). Lets a watchdog
+     * or signal drain stop a simulation mid-run.
+     */
+    const util::CancelToken *cancel = nullptr;
 
     mem::DramConfig dram{};
 };

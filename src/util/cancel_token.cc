@@ -1,0 +1,31 @@
+#include "util/cancel_token.hh"
+
+#include <string>
+
+namespace rlr::util
+{
+
+const char *
+CancelToken::reasonName(Reason r) noexcept
+{
+    switch (r) {
+      case Reason::None:
+        return "none";
+      case Reason::Timeout:
+        return "timeout";
+      case Reason::Signal:
+        return "signal";
+      case Reason::Other:
+        return "other";
+    }
+    return "unknown";
+}
+
+CancelledError::CancelledError(CancelToken::Reason reason)
+    : std::runtime_error(std::string("cancelled: ") +
+                         CancelToken::reasonName(reason)),
+      reason_(reason)
+{
+}
+
+} // namespace rlr::util

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <stdexcept>
+#include <string>
 
 namespace rlr::util
 {
@@ -74,6 +76,10 @@ ThreadPool::parallelFor(size_t n, size_t nthreads,
     std::atomic<size_t> next{0};
     std::atomic<bool> failed{false};
     std::exception_ptr first_error;
+    // Messages of EVERY captured exception, in capture order:
+    // iterations already running when the first failure lands may
+    // fail too, and silently dropping them hides concurrent bugs.
+    std::vector<std::string> error_messages;
     std::mutex error_mutex;
     const size_t workers = std::min(n, nthreads);
     std::vector<std::thread> threads;
@@ -87,9 +93,17 @@ ThreadPool::parallelFor(size_t n, size_t nthreads,
                 try {
                     fn(i);
                 } catch (...) {
+                    std::string what = "unknown exception";
+                    try {
+                        throw;
+                    } catch (const std::exception &e) {
+                        what = e.what();
+                    } catch (...) {
+                    }
                     std::scoped_lock lock(error_mutex);
                     if (!first_error)
                         first_error = std::current_exception();
+                    error_messages.push_back(std::move(what));
                     failed.store(true, std::memory_order_release);
                 }
             }
@@ -97,8 +111,20 @@ ThreadPool::parallelFor(size_t n, size_t nthreads,
     }
     for (auto &t : threads)
         t.join();
-    if (first_error)
+    if (error_messages.size() == 1)
         std::rethrow_exception(first_error);
+    if (error_messages.size() > 1) {
+        std::string joined;
+        for (size_t i = 0; i < error_messages.size(); ++i) {
+            if (i)
+                joined += "; ";
+            joined += "[" + std::to_string(i) + "] " +
+                      error_messages[i];
+        }
+        throw std::runtime_error(
+            std::to_string(error_messages.size()) +
+            " worker tasks failed: " + joined);
+    }
 }
 
 } // namespace rlr::util

@@ -59,12 +59,15 @@ class ThreadPool
      * Convenience: run fn(i) for i in [0, n) across the pool and
      * wait for completion.
      *
-     * If any fn(i) throws, the first exception is captured and
-     * rethrown here after all workers have joined; iterations
-     * already started finish, but no new iterations are claimed
-     * once a failure is recorded. Callers that need every
-     * iteration to run despite failures must catch inside fn
-     * (see sim::SweepRunner).
+     * If exactly one fn(i) throws, that exception is rethrown
+     * here after all workers have joined. When several iterations
+     * fail concurrently (iterations already started finish even
+     * after a failure is recorded; no new iterations are claimed),
+     * every captured message is aggregated into one
+     * std::runtime_error ("N worker tasks failed: [0] ...; [1]
+     * ..."), so no concurrent failure is silently dropped.
+     * Callers that need every iteration to run despite failures
+     * must catch inside fn (see sim::SweepRunner).
      */
     static void parallelFor(size_t n, size_t nthreads,
                             const std::function<void(size_t)> &fn);

@@ -101,6 +101,36 @@ TEST(ThreadPool, ParallelForSingleThreadPropagates)
     EXPECT_EQ(ran.load(), 3);
 }
 
+TEST(ThreadPool, ParallelForAggregatesConcurrentFailures)
+{
+    // Two workers throw simultaneously: neither message may be
+    // dropped. Both tasks rendezvous before throwing, so both are
+    // in flight when the first failure is recorded.
+    std::atomic<int> arrived{0};
+    try {
+        ThreadPool::parallelFor(2, 2, [&](size_t i) {
+            arrived.fetch_add(1);
+            while (arrived.load() < 2) {
+            }
+            throw std::runtime_error("worker " +
+                                     std::to_string(i) +
+                                     " exploded");
+        });
+        FAIL() << "expected an aggregated exception";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("2 worker tasks failed"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("worker 0 exploded"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("worker 1 exploded"),
+                  std::string::npos)
+            << what;
+    }
+}
+
 TEST(ThreadPool, ParallelForNonStdExceptionPropagates)
 {
     EXPECT_THROW(ThreadPool::parallelFor(

@@ -5,19 +5,24 @@
  *
  *   ./build/tools/inspect --from events.json [--out INSPECT.md]
  *   ./build/tools/inspect --check-trace sweep_trace.json
+ *   ./build/tools/inspect --journal out/journal/sweep-0
  *
  * Any bench binary's --events output works as input; the report
  * covers whatever cells the export contains (eviction-reason
  * breakdowns, Fig-5/6/7-style victim statistics, per-set hot
  * spots). --check-trace verifies a Chrome trace_event JSON file
  * is structurally valid for chrome://tracing / Perfetto.
+ * --journal summarizes a sweep journal directory (header
+ * identity, per-cell record status — see docs/ROBUSTNESS.md).
  */
 
 #include <cstdio>
 #include <string>
 
+#include "sim/journal.hh"
 #include "tools/inspect_gen.hh"
 #include "util/args.hh"
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 
 namespace
@@ -41,14 +46,7 @@ readFile(const std::string &path)
 void
 writeFile(const std::string &path, const std::string &text)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        rlr::util::fatal("cannot open output '{}'", path);
-    const size_t written =
-        std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
-    if (written != text.size())
-        rlr::util::fatal("short write to '{}'", path);
+    rlr::util::atomicWriteFileOrFatal(path, text);
 }
 
 } // namespace
@@ -72,8 +70,20 @@ main(int argc, char **argv)
                      "Validate a Chrome trace_event JSON file "
                      "(--chrome-trace output) instead of "
                      "rendering a report");
+    parser.addOption("journal", "",
+                     "Summarize a sweep journal directory "
+                     "(--journal output of any bench binary) "
+                     "instead of rendering a report");
     if (!parser.parse(argc, argv))
         return 0;
+
+    const std::string journal = parser.get("journal");
+    if (!journal.empty()) {
+        std::fputs(
+            rlr::sim::SweepJournal::summarize(journal).c_str(),
+            stdout);
+        return 0;
+    }
 
     const std::string check = parser.get("check-trace");
     if (!check.empty()) {

@@ -15,6 +15,7 @@
 
 #include "tools/report_gen.hh"
 #include "util/args.hh"
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 
 namespace
@@ -38,14 +39,7 @@ readFile(const std::string &path)
 void
 writeFile(const std::string &path, const std::string &text)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        rlr::util::fatal("cannot open output '{}'", path);
-    const size_t written =
-        std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
-    if (written != text.size())
-        rlr::util::fatal("short write to '{}'", path);
+    rlr::util::atomicWriteFileOrFatal(path, text);
 }
 
 } // namespace
