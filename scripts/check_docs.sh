@@ -17,6 +17,9 @@
 #   8. the robustness layer (docs/ROBUSTNESS.md) is out of sync:
 #      a sweep robustness flag, a FaultPlan kind, a sweep.*
 #      counter, or the crash-resume harness is undocumented.
+#   9. the perf trajectory (docs/PERFORMANCE.md) is out of sync:
+#      a bench/sim_throughput flag, the BENCH_sim_throughput.json
+#      export, the CI hook, or the ctest guard is undocumented.
 #
 # Pure grep/sed over the sources: runs without a compiler, so it
 # can gate doc-only changes too. Run from the repository root.
@@ -33,7 +36,7 @@ err() {
 
 for f in README.md docs/POLICIES.md docs/ARCHITECTURE.md \
          docs/TESTING.md docs/OBSERVABILITY.md \
-         docs/ROBUSTNESS.md EXPERIMENTS.md; do
+         docs/ROBUSTNESS.md docs/PERFORMANCE.md EXPERIMENTS.md; do
     [ -f "$f" ] || err "required doc '$f' is missing"
 done
 [ "$fail" -eq 0 ] || exit 1
@@ -154,6 +157,25 @@ done
 grep -q "scripts/crash_resume_e2e.sh" docs/ROBUSTNESS.md ||
     err "'scripts/crash_resume_e2e.sh' is not referenced in" \
         "docs/ROBUSTNESS.md"
+
+# --- 9. the perf trajectory is documented ---------------------------
+# Every bench/sim_throughput CLI flag must appear in
+# docs/PERFORMANCE.md, along with the JSON export's name, the CI
+# hook that writes it, and the ctest speedup guard.
+st_flags=$(grep -o 'add\(Option\|Flag\)("[a-z-]*"' \
+               bench/sim_throughput.cc | sed 's/.*("//; s/"//')
+[ -n "$st_flags" ] ||
+    err "could not extract flags from bench/sim_throughput.cc"
+for f in $st_flags; do
+    grep -q -- "--$f" docs/PERFORMANCE.md ||
+        err "sim_throughput flag '--$f' is not documented in" \
+            "docs/PERFORMANCE.md"
+done
+for needle in BENCH_sim_throughput.json scripts/ci.sh \
+              sim_throughput_guard setForceGenericDispatch; do
+    grep -q "$needle" docs/PERFORMANCE.md ||
+        err "'$needle' is not documented in docs/PERFORMANCE.md"
+done
 
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED (see messages above)" >&2

@@ -7,6 +7,12 @@
 # binaries, so the kill-and-resume guarantee is proven both in
 # Release and under the sanitizers. All stages must pass.
 #
+# The release stage additionally runs the LLC hot-path throughput
+# benchmark (bench/sim_throughput) and exports its per-policy
+# numbers to BENCH_sim_throughput.json — the tracked perf
+# trajectory (docs/PERFORMANCE.md). Set RLR_STABLE_BENCH=1 to zero
+# the wall-clock fields so same-seed runs are byte-identical.
+#
 # Usage: scripts/ci.sh [-j N]
 #   -j N   parallel build/test jobs (default: nproc)
 
@@ -41,8 +47,21 @@ run_crash_resume() {
         --inspect-bin="$dir/tools/inspect"
 }
 
+run_sim_throughput() {
+    local dir="$1"
+    echo "=== ci: sim_throughput (perf trajectory) ==="
+    local stable_flag=""
+    if [ "${RLR_STABLE_BENCH:-0}" != "0" ]; then
+        stable_flag="--stable-json"
+    fi
+    # shellcheck disable=SC2086  # stable_flag is empty or one flag
+    "$dir/bench/sim_throughput" \
+        --json=BENCH_sim_throughput.json $stable_flag
+}
+
 run_stage "release" build -DCMAKE_BUILD_TYPE=Release
 run_crash_resume "release" build
+run_sim_throughput build
 
 # Sanitizer stage: RelWithDebInfo keeps line numbers in reports
 # without debug-build slowness; halt_on_error via

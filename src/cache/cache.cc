@@ -4,9 +4,15 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <typeinfo>
 
+#include "core/rlr.hh"
 #include "obs/epoch.hh"
 #include "obs/event_log.hh"
+#include "policies/lru.hh"
+#include "policies/rrip.hh"
+#include "policies/ship.hh"
 #include "util/logging.hh"
 
 namespace rlr::cache
@@ -50,8 +56,31 @@ Cache::Cache(CacheGeometry geom,
     geom_.validate();
     util::ensure(policy_ != nullptr, "Cache: null policy");
     util::ensure(next_ != nullptr, "Cache: null next level");
-    blocks_.resize(static_cast<size_t>(geom_.numSets()) * geom_.ways);
+    const size_t lines =
+        static_cast<size_t>(geom_.numSets()) * geom_.ways;
+    valid_.assign(lines, 0);
+    dirty_.assign(lines, 0);
+    prefetch_.assign(lines, 0);
+    tag_.assign(lines, 0);
+    addr_.assign(lines, 0);
+    ready_at_.assign(lines, 0);
+    view_scratch_.resize(geom_.ways);
+    for (size_t i = 0; i < trace::kNumAccessTypes; ++i) {
+        const auto t = static_cast<trace::AccessType>(i);
+        type_access_[i] = &stats_.counter(typeKey(t, "access"));
+        type_hit_[i] = &stats_.counter(typeKey(t, "hit"));
+        type_miss_[i] = &stats_.counter(typeKey(t, "miss"));
+    }
+    mshr_stalls_ = &stats_.counter("mshr_stalls");
+    mshr_merges_ = &stats_.counter("mshr_merges");
+    evictions_ = &stats_.counter("evictions");
+    writebacks_issued_ = &stats_.counter("writebacks_issued");
+    bypasses_ = &stats_.counter("bypasses");
+    wb_bypass_denied_ = &stats_.counter("wb_bypass_denied");
+    pf_fills_skipped_ = &stats_.counter("pf_fills_skipped");
+    prefetches_issued_ = &stats_.counter("prefetches_issued");
     policy_->bind(geom_);
+    updateDispatch();
 }
 
 void
@@ -68,6 +97,7 @@ Cache::setEventLog(obs::EventLog *log)
     events_ = log;
     if (events_)
         events_->bind(geom_.numSets(), geom_.ways);
+    updateDispatch();
 }
 
 void
@@ -79,40 +109,167 @@ Cache::setEpochSampler(obs::EpochSampler *sampler)
         epoch_->setOccupancyProvider(
             [this] { return validLines(); });
     }
-}
-
-Cache::Block &
-Cache::block(uint32_t set, uint32_t way)
-{
-    return blocks_[static_cast<size_t>(set) * geom_.ways + way];
-}
-
-const Cache::Block &
-Cache::block(uint32_t set, uint32_t way) const
-{
-    return blocks_[static_cast<size_t>(set) * geom_.ways + way];
-}
-
-std::optional<uint32_t>
-Cache::lookup(uint32_t set, uint64_t tag) const
-{
-    for (uint32_t w = 0; w < geom_.ways; ++w) {
-        const Block &b = block(set, w);
-        if (b.valid && b.tag == tag)
-            return w;
-    }
-    return std::nullopt;
+    updateDispatch();
 }
 
 void
-Cache::countAccess(trace::AccessType type, bool hit)
+Cache::setForceGenericDispatch(bool v)
 {
-    ++stats_.counter(typeKey(type, "access"));
-    ++stats_.counter(typeKey(type, hit ? "hit" : "miss"));
+    force_generic_ = v;
+    updateDispatch();
+}
+
+namespace
+{
+
+/**
+ * Exact-type detection: derived classes (SHiP++, KPC-R, mutant
+ * wrappers, external policies) must NOT match their base's
+ * devirtualized instantiation — a qualified call would silently
+ * skip their overrides — so this compares typeid, not
+ * dynamic_cast.
+ */
+template <class P>
+bool
+isExactly(const ReplacementPolicy &p)
+{
+    return typeid(p) == typeid(P);
+}
+
+} // namespace
+
+void
+Cache::updateDispatch()
+{
+    kind_ = PolicyKind::Generic;
+    if (!force_generic_) {
+        const ReplacementPolicy &p = *policy_;
+        if (isExactly<policies::LruPolicy>(p))
+            kind_ = PolicyKind::Lru;
+        else if (isExactly<policies::SrripPolicy>(p))
+            kind_ = PolicyKind::Srrip;
+        else if (isExactly<policies::BrripPolicy>(p))
+            kind_ = PolicyKind::Brrip;
+        else if (isExactly<policies::DrripPolicy>(p))
+            kind_ = PolicyKind::Drrip;
+        else if (isExactly<policies::ShipPolicy>(p))
+            kind_ = PolicyKind::Ship;
+        else if (isExactly<core::RlrPolicy>(p))
+            kind_ = PolicyKind::Rlr;
+    }
+    const bool obs = events_ != nullptr || epoch_ != nullptr;
+    // With nothing attached the body compiles hook-free (if
+    // constexpr strips every observability call site), so
+    // disabled tracing costs nothing beyond the one indirect call
+    // every access already pays for policy dispatch.
+    auto pick = [&](auto tag) -> AccessFn {
+        using P = typename decltype(tag)::type;
+        return obs ? &Cache::accessImpl<true, P>
+                   : &Cache::accessImpl<false, P>;
+    };
+    switch (kind_) {
+      case PolicyKind::Lru:
+        access_fn_ = pick(std::type_identity<policies::LruPolicy>{});
+        break;
+      case PolicyKind::Srrip:
+        access_fn_ =
+            pick(std::type_identity<policies::SrripPolicy>{});
+        break;
+      case PolicyKind::Brrip:
+        access_fn_ =
+            pick(std::type_identity<policies::BrripPolicy>{});
+        break;
+      case PolicyKind::Drrip:
+        access_fn_ =
+            pick(std::type_identity<policies::DrripPolicy>{});
+        break;
+      case PolicyKind::Ship:
+        access_fn_ =
+            pick(std::type_identity<policies::ShipPolicy>{});
+        break;
+      case PolicyKind::Rlr:
+        access_fn_ = pick(std::type_identity<core::RlrPolicy>{});
+        break;
+      case PolicyKind::Generic:
+        access_fn_ = pick(std::type_identity<ReplacementPolicy>{});
+        break;
+    }
+}
+
+const char *
+Cache::dispatchKind() const
+{
+    switch (kind_) {
+      case PolicyKind::Lru:
+        return "LRU";
+      case PolicyKind::Srrip:
+        return "SRRIP";
+      case PolicyKind::Brrip:
+        return "BRRIP";
+      case PolicyKind::Drrip:
+        return "DRRIP";
+      case PolicyKind::Ship:
+        return "SHiP";
+      case PolicyKind::Rlr:
+        return "RLR";
+      case PolicyKind::Generic:
+        break;
+    }
+    return "generic";
+}
+
+template <class P>
+void
+Cache::policyOnAccess(const AccessContext &ctx)
+{
+    if constexpr (std::is_same_v<P, ReplacementPolicy>)
+        policy_->onAccess(ctx);
+    else
+        static_cast<P *>(policy_.get())->P::onAccess(ctx);
+}
+
+template <class P>
+uint32_t
+Cache::policyFindVictim(const AccessContext &ctx,
+                        std::span<const BlockView> blocks)
+{
+    if constexpr (std::is_same_v<P, ReplacementPolicy>)
+        return policy_->findVictim(ctx, blocks);
+    else
+        return static_cast<P *>(policy_.get())
+            ->P::findVictim(ctx, blocks);
+}
+
+template <class P>
+void
+Cache::policyOnEviction(uint32_t set, uint32_t way,
+                        const BlockView &block)
+{
+    if constexpr (std::is_same_v<P, ReplacementPolicy>)
+        policy_->onEviction(set, way, block);
+    else
+        static_cast<P *>(policy_.get())
+            ->P::onEviction(set, way, block);
+}
+
+uint32_t
+Cache::lookup(uint32_t set, uint64_t tag) const
+{
+    const size_t base = static_cast<size_t>(set) * geom_.ways;
+    const uint32_t ways = geom_.ways;
+    // Branchless scan over the valid + tag lanes: no early exit,
+    // so the loop vectorizes and runs in constant time per set.
+    uint32_t found = kNoWay;
+    for (uint32_t w = 0; w < ways; ++w) {
+        const bool match =
+            (valid_[base + w] != 0) & (tag_[base + w] == tag);
+        found = match ? w : found;
+    }
+    return found;
 }
 
 uint64_t
-Cache::reserveMshr(uint64_t now, uint64_t ready)
+Cache::mshrAdmit(uint64_t now)
 {
     while (!inflight_.empty() && inflight_.top() <= now)
         inflight_.pop();
@@ -121,9 +278,8 @@ Cache::reserveMshr(uint64_t now, uint64_t ready)
         // outstanding miss to complete.
         now = std::max(now, inflight_.top());
         inflight_.pop();
-        ++stats_.counter("mshr_stalls");
+        ++*mshr_stalls_;
     }
-    inflight_.push(ready);
     return now;
 }
 
@@ -141,7 +297,7 @@ Cache::runPrefetcher(const MemRequest &req, bool hit, uint64_t now)
     for (const auto &p : proposals) {
         const uint64_t line = CacheGeometry::lineAddress(p.address);
         const uint32_t set = geom_.setIndex(line);
-        if (lookup(set, geom_.tag(line)))
+        if (lookup(set, geom_.tag(line)) != kNoWay)
             continue; // already present or in flight
         MemRequest pf;
         pf.address = line;
@@ -149,7 +305,7 @@ Cache::runPrefetcher(const MemRequest &req, bool hit, uint64_t now)
         pf.type = trace::AccessType::Prefetch;
         pf.cpu = req.cpu;
         pf.pf_confidence = static_cast<float>(p.confidence);
-        ++stats_.counter("prefetches_issued");
+        ++*prefetches_issued_;
         access(pf, now);
     }
     in_prefetch_ = false;
@@ -158,16 +314,10 @@ Cache::runPrefetcher(const MemRequest &req, bool hit, uint64_t now)
 uint64_t
 Cache::access(const MemRequest &req, uint64_t now)
 {
-    // One dispatch per access: with nothing attached the body
-    // compiles hook-free (if constexpr strips every observability
-    // call site), so disabled tracing costs a single predicted
-    // branch rather than a null check per decision point.
-    if (events_ || epoch_)
-        return accessImpl<true>(req, now);
-    return accessImpl<false>(req, now);
+    return (this->*access_fn_)(req, now);
 }
 
-template <bool Obs>
+template <bool Obs, class P>
 uint64_t
 Cache::accessImpl(const MemRequest &req, uint64_t now)
 {
@@ -185,23 +335,23 @@ Cache::accessImpl(const MemRequest &req, uint64_t now)
         sink_(rec);
     }
 
-    const auto hit_way = lookup(set, tag);
+    const uint32_t hit_way = lookup(set, tag);
     const bool demand = trace::isDemand(req.type);
 
-    if (hit_way) {
-        Block &b = block(set, *hit_way);
-        const bool merged = b.ready_at > now;
+    if (hit_way != kNoWay) {
+        const size_t i = idx(set, hit_way);
+        const bool merged = ready_at_[i] > now;
         if (demand)
-            b.prefetch = false;
+            prefetch_[i] = 0;
         if (req.type == trace::AccessType::Writeback ||
             (writes_on_rfo_ && req.type == trace::AccessType::Rfo)) {
-            b.dirty = true;
+            dirty_[i] = 1;
         }
         if (merged) {
             // The line is still in flight: this access merges into
             // the outstanding MSHR and completes with it.
             countAccess(req.type, false);
-            ++stats_.counter("mshr_merges");
+            ++*mshr_merges_;
             if constexpr (Obs) {
                 if (epoch_)
                     epoch_->onAccess(set, req.type, false);
@@ -210,7 +360,7 @@ Cache::accessImpl(const MemRequest &req, uint64_t now)
             }
             if (demand)
                 runPrefetcher(req, false, now);
-            return std::max(now, b.ready_at);
+            return std::max(now, ready_at_[i]);
         }
         countAccess(req.type, true);
         if constexpr (Obs) {
@@ -219,20 +369,20 @@ Cache::accessImpl(const MemRequest &req, uint64_t now)
             if (events_) {
                 // Pre-update priority: the standing the line had
                 // when it was hit (e.g. its RRPV before promotion).
-                events_->onHit(set, *hit_way, toLlcAccess(req),
+                events_->onHit(set, hit_way, toLlcAccess(req),
                                policy_->victimPriority(set,
-                                                       *hit_way));
+                                                       hit_way));
             }
         }
         AccessContext ctx;
         ctx.cpu = req.cpu;
         ctx.set = set;
-        ctx.way = *hit_way;
+        ctx.way = hit_way;
         ctx.full_addr = req.address;
         ctx.pc = req.pc;
         ctx.type = req.type;
         ctx.hit = true;
-        policy_->onAccess(ctx);
+        policyOnAccess<P>(ctx);
         if (demand)
             runPrefetcher(req, true, now);
         if (verify_)
@@ -252,7 +402,7 @@ Cache::accessImpl(const MemRequest &req, uint64_t now)
     if (req.type == trace::AccessType::Writeback) {
         // Write-allocate on writeback: the entire line is being
         // written, so no fetch from the next level is required.
-        fillImpl<Obs>(req, now, /*dirty=*/true);
+        fillImpl<Obs, P>(req, now, /*dirty=*/true);
         if (verify_)
             runVerify(set);
         return now;
@@ -261,8 +411,12 @@ Cache::accessImpl(const MemRequest &req, uint64_t now)
     const uint64_t issue = now;
     uint64_t ready = next_->access(req, issue);
     ready = std::max(ready, issue);
-    const uint64_t adjusted = reserveMshr(issue, ready);
-    ready += adjusted - issue;
+    // MSHR reservation carries the final (post-stall) completion
+    // time: the entry frees exactly when the fill's data arrives,
+    // not at the pre-stall estimate.
+    const uint64_t start = mshrAdmit(issue);
+    ready += start - issue;
+    trackMiss(ready);
 
     // KPC-style fill-level control: low-confidence prefetches are
     // not installed at this level (they still filled the levels
@@ -271,11 +425,11 @@ Cache::accessImpl(const MemRequest &req, uint64_t now)
         req.type == trace::AccessType::Prefetch &&
         req.pf_confidence < pf_fill_threshold_;
     if (!skip_install) {
-        fillImpl<Obs>(req, ready,
-                      /*dirty=*/writes_on_rfo_ &&
-                          req.type == trace::AccessType::Rfo);
+        fillImpl<Obs, P>(req, ready,
+                         /*dirty=*/writes_on_rfo_ &&
+                             req.type == trace::AccessType::Rfo);
     } else {
-        ++stats_.counter("pf_fills_skipped");
+        ++*pf_fills_skipped_;
         if constexpr (Obs) {
             if (epoch_)
                 epoch_->onBypass();
@@ -294,28 +448,31 @@ Cache::accessImpl(const MemRequest &req, uint64_t now)
     return ready;
 }
 
-template <bool Obs>
+template <bool Obs, class P>
 bool
 Cache::fillImpl(const MemRequest &req, uint64_t ready, bool dirty)
 {
     const uint64_t line = CacheGeometry::lineAddress(req.address);
     const uint32_t set = geom_.setIndex(line);
+    const size_t base = static_cast<size_t>(set) * geom_.ways;
 
     uint32_t way = geom_.ways;
     for (uint32_t w = 0; w < geom_.ways; ++w) {
-        if (!block(set, w).valid) {
+        if (!valid_[base + w]) {
             way = w;
             break;
         }
     }
 
     if (way == geom_.ways) {
-        std::vector<BlockView> views(geom_.ways);
         for (uint32_t w = 0; w < geom_.ways; ++w) {
-            const Block &b = block(set, w);
-            views[w] = BlockView{b.valid, b.dirty, b.prefetch,
-                                 b.address};
+            view_scratch_[w] =
+                BlockView{valid_[base + w] != 0,
+                          dirty_[base + w] != 0,
+                          prefetch_[base + w] != 0, addr_[base + w]};
         }
+        const std::span<const BlockView> views{view_scratch_.data(),
+                                              geom_.ways};
         AccessContext ctx;
         ctx.cpu = req.cpu;
         ctx.set = set;
@@ -323,11 +480,11 @@ Cache::fillImpl(const MemRequest &req, uint64_t ready, bool dirty)
         ctx.pc = req.pc;
         ctx.type = req.type;
         ctx.hit = false;
-        way = policy_->findVictim(ctx, views);
+        way = policyFindVictim<P>(ctx, views);
 
         if (way == ReplacementPolicy::kBypass) {
             if (req.type != trace::AccessType::Writeback) {
-                ++stats_.counter("bypasses");
+                ++*bypasses_;
                 if constexpr (Obs) {
                     if (epoch_)
                         epoch_->onBypass();
@@ -338,13 +495,24 @@ Cache::fillImpl(const MemRequest &req, uint64_t ready, bool dirty)
                 }
                 return false;
             }
-            // Writebacks cannot be bypassed; fall back to way 0.
-            way = 0;
+            // The policy wanted to bypass a writeback. Dirty data
+            // has nowhere else to live, so deny the bypass and
+            // re-query for a real victim.
+            ++*wb_bypass_denied_;
+            ctx.allow_bypass = false;
+            way = policyFindVictim<P>(ctx, views);
+            if (way == ReplacementPolicy::kBypass) {
+                // Non-conforming policy (ignores allow_bypass):
+                // last-resort way 0 rather than dropping the line.
+                way = 0;
+            }
         }
         util::ensure(way < geom_.ways, "Cache: bad victim way");
 
-        Block &victim = block(set, way);
-        if (victim.valid) {
+        const size_t vi = base + way;
+        if (valid_[vi]) {
+            const BlockView victim{valid_[vi] != 0, dirty_[vi] != 0,
+                                   prefetch_[vi] != 0, addr_[vi]};
             if constexpr (Obs) {
                 // Before onEviction, while the policy's victim
                 // metadata is still live.
@@ -357,30 +525,27 @@ Cache::fillImpl(const MemRequest &req, uint64_t ready, bool dirty)
                 if (epoch_)
                     epoch_->onEviction(prio);
             }
-            policy_->onEviction(set, way,
-                                BlockView{victim.valid, victim.dirty,
-                                          victim.prefetch,
-                                          victim.address});
-            ++stats_.counter("evictions");
+            policyOnEviction<P>(set, way, victim);
+            ++*evictions_;
             if (victim.dirty) {
                 MemRequest wb;
                 wb.address = victim.address;
                 wb.pc = 0;
                 wb.type = trace::AccessType::Writeback;
                 wb.cpu = req.cpu;
-                ++stats_.counter("writebacks_issued");
+                ++*writebacks_issued_;
                 next_->access(wb, ready);
             }
         }
     }
 
-    Block &b = block(set, way);
-    b.valid = true;
-    b.dirty = dirty;
-    b.prefetch = req.type == trace::AccessType::Prefetch;
-    b.tag = geom_.tag(line);
-    b.address = line;
-    b.ready_at = ready;
+    const size_t i = base + way;
+    valid_[i] = 1;
+    dirty_[i] = dirty ? 1 : 0;
+    prefetch_[i] = req.type == trace::AccessType::Prefetch ? 1 : 0;
+    tag_[i] = geom_.tag(line);
+    addr_[i] = line;
+    ready_at_[i] = ready;
 
     AccessContext ctx;
     ctx.cpu = req.cpu;
@@ -390,7 +555,7 @@ Cache::fillImpl(const MemRequest &req, uint64_t ready, bool dirty)
     ctx.pc = req.pc;
     ctx.type = req.type;
     ctx.hit = false;
-    policy_->onAccess(ctx);
+    policyOnAccess<P>(ctx);
     if constexpr (Obs) {
         if (events_) {
             // Post-insertion priority (e.g. the inserted RRPV).
@@ -417,16 +582,18 @@ bool
 Cache::probe(uint64_t address) const
 {
     const uint64_t line = CacheGeometry::lineAddress(address);
-    return lookup(geom_.setIndex(line), geom_.tag(line)).has_value();
+    return lookup(geom_.setIndex(line), geom_.tag(line)) != kNoWay;
 }
 
 std::vector<BlockView>
 Cache::setContents(uint32_t set) const
 {
     std::vector<BlockView> views(geom_.ways);
+    const size_t base = static_cast<size_t>(set) * geom_.ways;
     for (uint32_t w = 0; w < geom_.ways; ++w) {
-        const Block &b = block(set, w);
-        views[w] = BlockView{b.valid, b.dirty, b.prefetch, b.address};
+        views[w] =
+            BlockView{valid_[base + w] != 0, dirty_[base + w] != 0,
+                      prefetch_[base + w] != 0, addr_[base + w]};
     }
     return views;
 }
@@ -480,10 +647,19 @@ Cache::resetStats()
 void
 Cache::flush()
 {
-    std::fill(blocks_.begin(), blocks_.end(), Block{});
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    std::fill(prefetch_.begin(), prefetch_.end(), 0);
+    std::fill(tag_.begin(), tag_.end(), 0);
+    std::fill(addr_.begin(), addr_.end(), 0);
+    std::fill(ready_at_.begin(), ready_at_.end(), 0);
     while (!inflight_.empty())
         inflight_.pop();
     resetStats();
+    // The policy's metadata describes lines that no longer exist;
+    // without this, stale LRU stacks / RRPVs / signatures / ages
+    // would steer the first victim choices after the flush.
+    policy_->reset(geom_);
 }
 
 uint64_t
@@ -508,8 +684,8 @@ uint64_t
 Cache::validLines() const
 {
     uint64_t n = 0;
-    for (const Block &b : blocks_)
-        n += b.valid ? 1 : 0;
+    for (const uint8_t v : valid_)
+        n += v;
     return n;
 }
 

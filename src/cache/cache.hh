@@ -2,6 +2,15 @@
  * @file
  * Set-associative, write-back, write-allocate, non-blocking cache
  * with pluggable replacement policy and prefetcher.
+ *
+ * The access path is compiled per replacement policy: for the
+ * factory's common policies (LRU, the RRIP family, SHiP, RLR) the
+ * cache selects a template instantiation at construction time
+ * whose policy calls are devirtualized qualified calls, while
+ * exotic or external policies run the same body through the
+ * virtual fallback instantiation. Per-set metadata is stored as
+ * struct-of-arrays lanes so tag lookups and victim scans
+ * vectorize (docs/ARCHITECTURE.md, docs/PERFORMANCE.md).
  */
 
 #ifndef RLR_CACHE_CACHE_HH
@@ -9,7 +18,6 @@
 
 #include <functional>
 #include <memory>
-#include <optional>
 #include <queue>
 #include <vector>
 
@@ -95,6 +103,21 @@ class Cache : public MemoryLevel
     bool verifyingInvariants() const { return verify_; }
 
     /**
+     * Route every access through the virtual-dispatch fallback
+     * instantiation even when a compile-time specialization is
+     * available. Bench/test aid: the dispatch-equivalence oracle
+     * and bench/sim_throughput compare the two paths.
+     */
+    void setForceGenericDispatch(bool v);
+
+    /**
+     * Name of the access-path instantiation in use: the concrete
+     * policy class devirtualized into the hot path, or "generic"
+     * for the virtual fallback.
+     */
+    const char *dispatchKind() const;
+
+    /**
      * Minimum prefetch confidence required to install a prefetch
      * fill at THIS level. Lower-confidence prefetched data still
      * flows to the requester and fills levels below (KPC-style
@@ -133,7 +156,11 @@ class Cache : public MemoryLevel
     /** Zero statistics (end of warmup); cache contents persist. */
     void resetStats();
 
-    /** Invalidate all blocks and clear stats. */
+    /**
+     * Invalidate all blocks, drain the MSHRs, clear stats, and
+     * reset the replacement policy's metadata (no line it has
+     * seen is resident any more).
+     */
     void flush();
 
     /** Demand (LD+RFO) access/hit/miss totals. */
@@ -145,41 +172,78 @@ class Cache : public MemoryLevel
     uint64_t validLines() const;
 
   private:
-    struct Block
-    {
-        bool valid = false;
-        bool dirty = false;
-        bool prefetch = false;
-        uint64_t tag = 0;
-        /** Line-aligned byte address. */
-        uint64_t address = 0;
-        /** Cycle at which the block's data is present. */
-        uint64_t ready_at = 0;
-    };
-
-    Block &block(uint32_t set, uint32_t way);
-    const Block &block(uint32_t set, uint32_t way) const;
-
-    /** @return hit way for (set, tag) or nullopt. */
-    std::optional<uint32_t> lookup(uint32_t set, uint64_t tag) const;
+    /** lookup() miss marker (no way holds the tag). */
+    static constexpr uint32_t kNoWay =
+        std::numeric_limits<uint32_t>::max();
 
     /**
-     * Access body, compiled twice: Obs=false is the hook-free
-     * disabled path; Obs=true drives the attached EventLog /
-     * EpochSampler. access() dispatches once per call.
+     * Compile-time access-path selector. Every concrete kind maps
+     * to an accessImpl instantiation whose policy calls are
+     * devirtualized; Generic is the virtual fallback that serves
+     * any ReplacementPolicy subclass.
      */
-    template <bool Obs>
+    enum class PolicyKind : uint8_t
+    {
+        Generic,
+        Lru,
+        Srrip,
+        Brrip,
+        Drrip,
+        Ship,
+        Rlr,
+    };
+
+    /** Flat SoA index of (set, way). */
+    size_t
+    idx(uint32_t set, uint32_t way) const
+    {
+        return static_cast<size_t>(set) * geom_.ways + way;
+    }
+
+    /** @return hit way for (set, tag) or kNoWay. */
+    uint32_t lookup(uint32_t set, uint64_t tag) const;
+
+    /**
+     * Access body, compiled per (observability, policy type):
+     * Obs=false is the hook-free disabled path; Obs=true drives
+     * the attached EventLog / EpochSampler. P is the concrete
+     * replacement policy class (qualified, devirtualized calls)
+     * or ReplacementPolicy itself for the virtual fallback.
+     * access() is one indirect call through the precomputed
+     * member-function pointer.
+     */
+    template <bool Obs, class P>
     uint64_t accessImpl(const MemRequest &req, uint64_t now);
 
     /**
      * Install a line, evicting if necessary.
      * @return false when the fill was bypassed by the policy.
      */
-    template <bool Obs>
+    template <bool Obs, class P>
     bool fillImpl(const MemRequest &req, uint64_t ready, bool dirty);
 
-    /** Enforce MSHR capacity; may advance @p now. */
-    uint64_t reserveMshr(uint64_t now, uint64_t ready);
+    /** Devirtualized (or fallback-virtual) policy call helpers. */
+    template <class P> void policyOnAccess(const AccessContext &ctx);
+    template <class P>
+    uint32_t policyFindVictim(const AccessContext &ctx,
+                              std::span<const BlockView> blocks);
+    template <class P>
+    void policyOnEviction(uint32_t set, uint32_t way,
+                          const BlockView &block);
+
+    /**
+     * Enforce MSHR capacity: may advance @p now to the completion
+     * of the earliest outstanding miss (freeing its MSHR). The
+     * caller reserves the freed entry with the final, post-stall
+     * completion time via trackMiss().
+     */
+    uint64_t mshrAdmit(uint64_t now);
+
+    /** Record an in-flight miss completing at @p ready. */
+    void trackMiss(uint64_t ready) { inflight_.push(ready); }
+
+    /** Detect the policy's kind and install the access pointer. */
+    void updateDispatch();
 
     /** Run the armed invariant checks on @p set (throws). */
     void runVerify(uint32_t set) const;
@@ -188,7 +252,14 @@ class Cache : public MemoryLevel
     void runPrefetcher(const MemRequest &req, bool hit,
                        uint64_t now);
 
-    void countAccess(trace::AccessType type, bool hit);
+    /** Bump the cached per-type access counters. */
+    void
+    countAccess(trace::AccessType type, bool hit)
+    {
+        const auto i = static_cast<size_t>(type);
+        ++*type_access_[i];
+        ++*(hit ? type_hit_ : type_miss_)[i];
+    }
 
     CacheGeometry geom_;
     std::unique_ptr<ReplacementPolicy> policy_;
@@ -196,7 +267,7 @@ class Cache : public MemoryLevel
     std::unique_ptr<Prefetcher> prefetcher_;
     AccessSink sink_;
     /** Borrowed observability hooks; null = disabled (the access
-     *  path then runs the hook-free accessImpl<false>). */
+     *  path then runs the hook-free accessImpl<false, P>). */
     obs::EventLog *events_ = nullptr;
     obs::EpochSampler *epoch_ = nullptr;
     bool writes_on_rfo_ = false;
@@ -204,7 +275,25 @@ class Cache : public MemoryLevel
     /** Invariant checking armed (RLR_VERIFY / fuzz harness). */
     bool verify_ = false;
 
-    std::vector<Block> blocks_;
+    /**
+     * Per-line metadata as struct-of-arrays lanes, indexed by
+     * idx(set, way). Separating the one-byte flags from the
+     * 8-byte lanes keeps the lookup scan reading only the lanes
+     * it needs (valid + tag: 9 bytes/way instead of a 40-byte
+     * Block record) and lets the compiler vectorize it.
+     */
+    std::vector<uint8_t> valid_;
+    std::vector<uint8_t> dirty_;
+    std::vector<uint8_t> prefetch_;
+    std::vector<uint64_t> tag_;
+    /** Line-aligned byte address. */
+    std::vector<uint64_t> addr_;
+    /** Cycle at which the block's data is present. */
+    std::vector<uint64_t> ready_at_;
+
+    /** Reusable findVictim() argument; sized to geom_.ways. */
+    std::vector<BlockView> view_scratch_;
+
     /** Data-ready cycles of in-flight misses (MSHR accounting). */
     std::priority_queue<uint64_t, std::vector<uint64_t>,
                         std::greater<>>
@@ -212,7 +301,30 @@ class Cache : public MemoryLevel
     /** Guard against recursive prefetch issue. */
     bool in_prefetch_ = false;
 
+    /** Selected access-path instantiation. */
+    using AccessFn = uint64_t (Cache::*)(const MemRequest &,
+                                         uint64_t);
+    AccessFn access_fn_ = nullptr;
+    PolicyKind kind_ = PolicyKind::Generic;
+    bool force_generic_ = false;
+
     stats::StatSet stats_;
+    /**
+     * Cached counter references (stable for the StatSet's life):
+     * the seed implementation built two std::string keys and did
+     * two map lookups per access, which dominated the hot path.
+     */
+    uint64_t *type_access_[trace::kNumAccessTypes];
+    uint64_t *type_hit_[trace::kNumAccessTypes];
+    uint64_t *type_miss_[trace::kNumAccessTypes];
+    uint64_t *mshr_stalls_ = nullptr;
+    uint64_t *mshr_merges_ = nullptr;
+    uint64_t *evictions_ = nullptr;
+    uint64_t *writebacks_issued_ = nullptr;
+    uint64_t *bypasses_ = nullptr;
+    uint64_t *wb_bypass_denied_ = nullptr;
+    uint64_t *pf_fills_skipped_ = nullptr;
+    uint64_t *prefetches_issued_ = nullptr;
 };
 
 } // namespace rlr::cache

@@ -66,6 +66,13 @@ struct AccessContext
     trace::AccessType type = trace::AccessType::Load;
     /** True on hit, false on fill-after-miss. */
     bool hit = false;
+    /**
+     * False when the cache will not honour kBypass for this fill
+     * (writeback re-query after a denied bypass): the policy must
+     * return a real victim way. Bypass-capable policies check this
+     * in addition to their own type filters.
+     */
+    bool allow_bypass = true;
 };
 
 /** Read-only view of one cache block exposed to policies. */
@@ -118,8 +125,23 @@ class ReplacementPolicy
 
     virtual ~ReplacementPolicy() = default;
 
-    /** Size metadata for the given geometry; called once. */
+    /**
+     * Size metadata for the given geometry. Called once at cache
+     * construction, and again through reset() when the cache is
+     * flushed; bind() must therefore fully (re)initialize every
+     * piece of policy state it owns.
+     */
     virtual void bind(const CacheGeometry &geom) = 0;
+
+    /**
+     * Drop all replacement metadata, as after a full cache flush:
+     * no line the policy has seen is resident any more. The
+     * default re-binds, which suffices for policies whose bind()
+     * re-initializes everything; policies with constructor-seeded
+     * state (RNG streams, duel counters) override this to restore
+     * their exact post-construction behaviour.
+     */
+    virtual void reset(const CacheGeometry &geom) { bind(geom); }
 
     /**
      * Choose a victim way for a fill into ctx.set. The cache fills

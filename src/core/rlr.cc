@@ -183,7 +183,7 @@ RlrPolicy::findVictim(const cache::AccessContext &ctx,
     (void)blocks;
     const uint32_t set = ctx.set;
 
-    if (config_.allow_bypass &&
+    if (config_.allow_bypass && ctx.allow_bypass &&
         ctx.type != trace::AccessType::Writeback) {
         // Bypass when no line has outlived the predicted reuse
         // distance: every resident line may still be reused. The

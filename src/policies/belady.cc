@@ -58,7 +58,7 @@ BeladyPolicy::findVictim(const cache::AccessContext &ctx,
             victim = w;
         }
     }
-    if (allow_bypass_ &&
+    if (allow_bypass_ && ctx.allow_bypass &&
         ctx.type != trace::AccessType::Writeback) {
         const uint64_t incoming = oracle_->nextUse(
             cache::CacheGeometry::lineAddress(ctx.full_addr), seq_);

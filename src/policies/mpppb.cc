@@ -97,7 +97,7 @@ MpppbPolicy::findVictim(const cache::AccessContext &ctx,
 {
     (void)blocks;
     // Bypass confidently dead fills.
-    if (config_.allow_bypass &&
+    if (config_.allow_bypass && ctx.allow_bypass &&
         ctx.type != trace::AccessType::Writeback) {
         const int s =
             predict(ctx.pc, ctx.full_addr, ctx.type);

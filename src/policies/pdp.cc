@@ -89,7 +89,7 @@ PdpPolicy::findVictim(const cache::AccessContext &ctx,
     if (victim != ways_)
         return victim;
 
-    if (config_.allow_bypass &&
+    if (config_.allow_bypass && ctx.allow_bypass &&
         ctx.type != trace::AccessType::Writeback)
         return kBypass;
 

@@ -3,12 +3,22 @@
 namespace rlr::policies
 {
 
-RandomPolicy::RandomPolicy(uint64_t seed) : rng_(seed) {}
+RandomPolicy::RandomPolicy(uint64_t seed)
+    : seed_(seed), rng_(seed)
+{
+}
 
 void
 RandomPolicy::bind(const cache::CacheGeometry &geom)
 {
     ways_ = geom.ways;
+}
+
+void
+RandomPolicy::reset(const cache::CacheGeometry &geom)
+{
+    rng_ = util::Rng(seed_);
+    bind(geom);
 }
 
 uint32_t

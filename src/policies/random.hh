@@ -19,6 +19,8 @@ class RandomPolicy : public cache::ReplacementPolicy
     explicit RandomPolicy(uint64_t seed = 1);
 
     void bind(const cache::CacheGeometry &geom) override;
+    /** Restart the victim RNG stream from the original seed. */
+    void reset(const cache::CacheGeometry &geom) override;
     uint32_t
     findVictim(const cache::AccessContext &ctx,
                std::span<const cache::BlockView> blocks) override;
@@ -27,6 +29,7 @@ class RandomPolicy : public cache::ReplacementPolicy
     cache::StorageOverhead overhead() const override;
 
   private:
+    uint64_t seed_;
     util::Rng rng_;
     uint32_t ways_ = 0;
 };

@@ -100,8 +100,15 @@ SrripPolicy::overhead() const
 }
 
 BrripPolicy::BrripPolicy(unsigned rrpv_bits, uint64_t seed)
-    : RripBase(rrpv_bits), rng_(seed)
+    : RripBase(rrpv_bits), seed_(seed), rng_(seed)
 {
+}
+
+void
+BrripPolicy::reset(const cache::CacheGeometry &geom)
+{
+    rng_ = util::Rng(seed_);
+    bind(geom);
 }
 
 uint8_t
@@ -125,10 +132,21 @@ BrripPolicy::overhead() const
 
 DrripPolicy::DrripPolicy(unsigned rrpv_bits, uint32_t leader_sets,
                          uint64_t seed)
-    : RripBase(rrpv_bits), leader_sets_(leader_sets), rng_(seed)
+    : RripBase(rrpv_bits), leader_sets_(leader_sets), seed_(seed),
+      rng_(seed)
 {
     util::ensure(leader_sets_ >= 1,
                  "DRRIP: need at least one leader set per policy");
+}
+
+void
+DrripPolicy::reset(const cache::CacheGeometry &geom)
+{
+    // bind() does not touch the duel state or the RNG stream; a
+    // flushed cache must look exactly like a newly built one.
+    rng_ = util::Rng(seed_);
+    psel_ = util::SignedSatCounter(10, 0);
+    bind(geom);
 }
 
 void

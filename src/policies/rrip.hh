@@ -87,6 +87,8 @@ class BrripPolicy : public RripBase
 {
   public:
     explicit BrripPolicy(unsigned rrpv_bits = 2, uint64_t seed = 7);
+    /** Re-bind and restart the bimodal RNG stream. */
+    void reset(const cache::CacheGeometry &geom) override;
     std::string name() const override { return "BRRIP"; }
     cache::StorageOverhead overhead() const override;
 
@@ -94,6 +96,7 @@ class BrripPolicy : public RripBase
     uint8_t insertionRrpv(const cache::AccessContext &ctx) override;
 
   private:
+    uint64_t seed_;
     util::Rng rng_;
 };
 
@@ -112,6 +115,8 @@ class DrripPolicy : public RripBase
                          uint64_t seed = 7);
 
     void bind(const cache::CacheGeometry &geom) override;
+    /** Re-bind, restart the RNG stream, and zero the PSEL duel. */
+    void reset(const cache::CacheGeometry &geom) override;
     void onAccess(const cache::AccessContext &ctx) override;
     std::string name() const override { return "DRRIP"; }
     cache::StorageOverhead overhead() const override;
@@ -128,6 +133,7 @@ class DrripPolicy : public RripBase
 
   private:
     uint32_t leader_sets_;
+    uint64_t seed_;
     util::Rng rng_;
     util::SignedSatCounter psel_{10, 0};
 };

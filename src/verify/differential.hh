@@ -54,6 +54,13 @@ struct DiffSpec
     /** RLR knobs (policies named RLR*). */
     core::RlrConfig rlr;
 
+    /**
+     * Flush both models (Cache::flush / RefCache::flush) every N
+     * accesses during the replay; 0 = never. Exercises the
+     * policy-reset-on-flush contract differentially.
+     */
+    uint64_t flush_period = 0;
+
     /** Trace-generation knobs. */
     uint64_t seed = 1;
     uint64_t accesses = 2000;
@@ -117,6 +124,7 @@ class MutantPolicy : public cache::ReplacementPolicy
                  unsigned period);
 
     void bind(const cache::CacheGeometry &geom) override;
+    void reset(const cache::CacheGeometry &geom) override;
     uint32_t
     findVictim(const cache::AccessContext &ctx,
                std::span<const cache::BlockView> blocks) override;
@@ -161,6 +169,19 @@ shrinkTrace(const DiffSpec &spec,
  */
 DiffResult runDifferential(const DiffSpec &spec,
                            unsigned mutate_period = 0);
+
+/**
+ * Dispatch-path oracle: replay the spec's fuzz trace through two
+ * production caches built from the same spec — one on the
+ * devirtualized compile-time instantiation the policy selects,
+ * one forced onto the virtual-dispatch fallback
+ * (Cache::setForceGenericDispatch) — and require byte-identical
+ * behaviour: per-access completion times, per-set resident
+ * contents after every access, and the full final counter sets.
+ * @return "" when equivalent, else a description of the first
+ *         divergence
+ */
+std::string dispatchEquivalenceError(const DiffSpec &spec);
 
 /**
  * Optimality invariant: the production policy's hit count on a

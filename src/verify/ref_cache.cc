@@ -59,12 +59,18 @@ RefCache::access(const RefAccess &access)
     }
 
     if (way == ways_) {
-        way = policy_->victim(access, set, ways);
+        way = policy_->victim(access, set, ways,
+                              /*allow_bypass=*/true);
         if (way == RefPolicy::kBypass) {
             if (access.type != trace::AccessType::Writeback)
                 return RefOutcome{false, 0, true};
-            // Writebacks cannot be bypassed; fall back to way 0.
-            way = 0;
+            // The policy wanted to bypass a writeback: deny and
+            // re-query for a real victim, exactly like the
+            // production cache (wb_bypass_denied path).
+            way = policy_->victim(access, set, ways,
+                                  /*allow_bypass=*/false);
+            if (way == RefPolicy::kBypass)
+                way = 0; // non-conforming policy: last resort
         }
         util::ensure(way < ways_, "RefCache: bad victim way");
         if (ways[way].valid)
@@ -75,6 +81,15 @@ RefCache::access(const RefAccess &access)
     ways[way].line = access.line;
     policy_->touch(access, set, way, /*hit=*/false);
     return RefOutcome{false, way, false};
+}
+
+void
+RefCache::flush()
+{
+    lines_.assign(sets_, std::vector<RefLine>(ways_));
+    hits_ = 0;
+    misses_ = 0;
+    policy_->reset(sets_, ways_);
 }
 
 } // namespace rlr::verify

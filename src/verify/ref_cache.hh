@@ -64,10 +64,14 @@ class RefPolicy
 
     /**
      * Choose a victim way for a fill into a full set, or kBypass.
-     * @p lines has one valid entry per way.
+     * @p lines has one valid entry per way. @p allow_bypass
+     * mirrors AccessContext::allow_bypass: false on the re-query
+     * after a denied writeback bypass, when kBypass will not be
+     * honoured.
      */
     virtual uint32_t victim(const RefAccess &access, uint32_t set,
-                            const std::vector<RefLine> &lines) = 0;
+                            const std::vector<RefLine> &lines,
+                            bool allow_bypass) = 0;
 
     /**
      * Observe a hit or a completed fill at (set, way), mirroring
@@ -110,6 +114,12 @@ class RefCache
 
     /** Replay one access; returns its hit/fill outcome. */
     RefOutcome access(const RefAccess &access);
+
+    /**
+     * Invalidate every line and reset the policy, mirroring
+     * cache::Cache::flush() (flush-then-access differentials).
+     */
+    void flush();
 
     /** @return set index of a line-aligned address. */
     uint32_t setIndex(uint64_t line) const;

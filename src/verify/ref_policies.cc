@@ -20,8 +20,10 @@ RefLru::reset(uint32_t sets, uint32_t ways)
 
 uint32_t
 RefLru::victim(const RefAccess &access, uint32_t set,
-               const std::vector<RefLine> &lines)
+               const std::vector<RefLine> &lines,
+               bool allow_bypass)
 {
+    (void)allow_bypass;
     (void)access;
     (void)lines;
     uint32_t victim = 0;
@@ -123,8 +125,10 @@ RefRrip::insertion(uint32_t set)
 
 uint32_t
 RefRrip::victim(const RefAccess &access, uint32_t set,
-                const std::vector<RefLine> &lines)
+                const std::vector<RefLine> &lines,
+                bool allow_bypass)
 {
+    (void)allow_bypass;
     (void)access;
     (void)lines;
     for (;;) {
@@ -195,8 +199,10 @@ RefShip::signature(uint64_t pc, trace::AccessType type) const
 
 uint32_t
 RefShip::victim(const RefAccess &access, uint32_t set,
-                const std::vector<RefLine> &lines)
+                const std::vector<RefLine> &lines,
+                bool allow_bypass)
 {
+    (void)allow_bypass;
     (void)access;
     (void)lines;
     for (;;) {
@@ -286,10 +292,11 @@ RefRlr::priority(const Line &l) const
 
 uint32_t
 RefRlr::victim(const RefAccess &access, uint32_t set,
-               const std::vector<RefLine> &lines)
+               const std::vector<RefLine> &lines,
+               bool allow_bypass)
 {
     (void)lines;
-    if (params_.allow_bypass &&
+    if (params_.allow_bypass && allow_bypass &&
         access.type != trace::AccessType::Writeback) {
         bool any_expired = false;
         for (uint32_t w = 0; w < ways_; ++w) {
@@ -409,7 +416,8 @@ RefBelady::nextUse(uint64_t line, uint64_t seq) const
 
 uint32_t
 RefBelady::victim(const RefAccess &access, uint32_t set,
-                  const std::vector<RefLine> &lines)
+                  const std::vector<RefLine> &lines,
+                  bool allow_bypass)
 {
     (void)set;
     uint32_t victim = 0;
@@ -421,7 +429,7 @@ RefBelady::victim(const RefAccess &access, uint32_t set,
             victim = w;
         }
     }
-    if (allow_bypass_ &&
+    if (allow_bypass_ && allow_bypass &&
         access.type != trace::AccessType::Writeback &&
         nextUse(access.line, access.seq) >= farthest) {
         // Keeping every resident line is at least as good as

@@ -36,7 +36,8 @@ class RefLru : public RefPolicy
   public:
     void reset(uint32_t sets, uint32_t ways) override;
     uint32_t victim(const RefAccess &access, uint32_t set,
-                    const std::vector<RefLine> &lines) override;
+                    const std::vector<RefLine> &lines,
+                    bool allow_bypass) override;
     void touch(const RefAccess &access, uint32_t set, uint32_t way,
                bool hit) override;
     std::string name() const override { return "ref-LRU"; }
@@ -69,7 +70,8 @@ class RefRrip : public RefPolicy
 
     void reset(uint32_t sets, uint32_t ways) override;
     uint32_t victim(const RefAccess &access, uint32_t set,
-                    const std::vector<RefLine> &lines) override;
+                    const std::vector<RefLine> &lines,
+                    bool allow_bypass) override;
     void touch(const RefAccess &access, uint32_t set, uint32_t way,
                bool hit) override;
     std::string name() const override;
@@ -103,7 +105,8 @@ class RefShip : public RefPolicy
 
     void reset(uint32_t sets, uint32_t ways) override;
     uint32_t victim(const RefAccess &access, uint32_t set,
-                    const std::vector<RefLine> &lines) override;
+                    const std::vector<RefLine> &lines,
+                    bool allow_bypass) override;
     void touch(const RefAccess &access, uint32_t set, uint32_t way,
                bool hit) override;
     void evicted(uint32_t set, uint32_t way) override;
@@ -157,7 +160,8 @@ class RefRlr : public RefPolicy
 
     void reset(uint32_t sets, uint32_t ways) override;
     uint32_t victim(const RefAccess &access, uint32_t set,
-                    const std::vector<RefLine> &lines) override;
+                    const std::vector<RefLine> &lines,
+                    bool allow_bypass) override;
     void touch(const RefAccess &access, uint32_t set, uint32_t way,
                bool hit) override;
     std::string name() const override { return "ref-RLR"; }
@@ -206,7 +210,8 @@ class RefBelady : public RefPolicy
 
     void reset(uint32_t sets, uint32_t ways) override;
     uint32_t victim(const RefAccess &access, uint32_t set,
-                    const std::vector<RefLine> &lines) override;
+                    const std::vector<RefLine> &lines,
+                    bool allow_bypass) override;
     void touch(const RefAccess &access, uint32_t set, uint32_t way,
                bool hit) override;
     std::string name() const override { return "ref-Belady"; }

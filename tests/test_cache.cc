@@ -4,6 +4,7 @@
 
 #include "cache/cache.hh"
 #include "policies/lru.hh"
+#include "policies/rrip.hh"
 
 using namespace rlr;
 using namespace rlr::cache;
@@ -51,6 +52,26 @@ class BypassPolicy : public ReplacementPolicy
     }
     void onAccess(const AccessContext &) override {}
     std::string name() const override { return "bypass"; }
+    StorageOverhead overhead() const override { return {}; }
+};
+
+/**
+ * Conforming bypass-happy policy: bypasses every fill it is
+ * allowed to (including writebacks, unlike the factory policies),
+ * but honours a denied bypass with a fixed victim way.
+ */
+class WbBypassPolicy : public ReplacementPolicy
+{
+  public:
+    void bind(const CacheGeometry &) override {}
+    uint32_t
+    findVictim(const AccessContext &ctx,
+               std::span<const BlockView>) override
+    {
+        return ctx.allow_bypass ? kBypass : 2u;
+    }
+    void onAccess(const AccessContext &) override {}
+    std::string name() const override { return "wb-bypass"; }
     StorageOverhead overhead() const override { return {}; }
 };
 
@@ -296,6 +317,84 @@ TEST(Cache, MshrPressureDelaysMisses)
     const uint64_t t3 = c.access(load(0x30000), 0);
     EXPECT_GT(t3, 1010u);
     EXPECT_GE(c.statSet().value("mshr_stalls"), 1u);
+}
+
+TEST(Cache, MshrReservationTracksStalledCompletion)
+{
+    // Regression: reserveMshr used to record the *pre-stall*
+    // completion time of a stalled miss, so a stalled request
+    // under-reported how long it kept its MSHR and later misses
+    // were admitted too early.
+    FakeMemory mem(100);
+    CacheGeometry g = smallGeometry(); // latency 10
+    g.mshrs = 1;
+    Cache c(g, std::make_unique<policies::LruPolicy>(), &mem);
+    const uint64_t t_a = c.access(load(0x10000), 0);
+    EXPECT_EQ(t_a, 110u); // 10 lookup + 100 memory
+    // B stalls for A's MSHR: admitted at 110, completes at 210.
+    const uint64_t t_b = c.access(load(0x20000), 0);
+    EXPECT_EQ(t_b, 210u);
+    // C stalls for B. B occupies the MSHR until 210 — not until
+    // its pre-stall completion time 130, which the old accounting
+    // recorded (admitting C at 110 and completing it at 210, as
+    // if B had never stalled).
+    const uint64_t t_c = c.access(load(0x30000), 20);
+    EXPECT_GT(t_c, t_b);
+    EXPECT_EQ(t_c, 310u);
+    EXPECT_EQ(c.statSet().value("mshr_stalls"), 2u);
+}
+
+TEST(Cache, FlushResetsPolicyMetadata)
+{
+    // Regression: flush() invalidated the lines but left the
+    // replacement policy's per-line metadata (RRPVs, recency
+    // stamps, ages) describing the flushed contents.
+    FakeMemory mem;
+    CacheGeometry g = smallGeometry();
+    auto srrip = std::make_unique<policies::SrripPolicy>(2);
+    auto *policy = srrip.get();
+    Cache c(g, std::move(srrip), &mem);
+
+    const uint32_t set = g.setIndex(0x1000);
+    c.access(load(0x1000), 0);    // fill at way 0: rrpv = max-1
+    c.access(load(0x1000), 1000); // hit: promoted to rrpv = 0
+    EXPECT_EQ(policy->victimPriority(set, 0), 0u);
+
+    c.flush();
+    // After the flush the slot's metadata must be back at the
+    // bind-time state (distant RRPV), not the stale promotion.
+    EXPECT_EQ(policy->victimPriority(set, 0), 3u);
+}
+
+TEST(Cache, WritebackBypassDeniedReQueriesPolicy)
+{
+    // Regression: a policy answering kBypass for a writeback fill
+    // used to get way 0 evicted behind its back; now the cache
+    // re-queries with allow_bypass=false and counts the denial.
+    FakeMemory mem;
+    CacheGeometry g = smallGeometry();
+    Cache c(g, std::make_unique<WbBypassPolicy>(), &mem);
+    const uint64_t stride = g.numSets() * kLineBytes;
+    // Fill the set's 4 invalid ways (no policy involvement).
+    for (uint64_t i = 0; i < 4; ++i)
+        c.access(load(0x10000 + i * stride), i * 1000);
+
+    MemRequest wb;
+    wb.address = 0x10000 + 4 * stride;
+    wb.type = trace::AccessType::Writeback;
+    c.access(wb, 10000);
+
+    EXPECT_EQ(c.statSet().value("wb_bypass_denied"), 1u);
+    EXPECT_EQ(c.statSet().value("bypasses"), 0u);
+    // The denied bypass landed at the policy's chosen way 2, not
+    // the old hard-coded way 0.
+    EXPECT_TRUE(c.probe(0x10000 + 4 * stride));
+    EXPECT_TRUE(c.probe(0x10000 + 0 * stride));
+    EXPECT_FALSE(c.probe(0x10000 + 2 * stride));
+    // Non-writeback fills still bypass (and are counted as such).
+    c.access(load(0x10000 + 5 * stride), 20000);
+    EXPECT_EQ(c.statSet().value("bypasses"), 1u);
+    EXPECT_FALSE(c.probe(0x10000 + 5 * stride));
 }
 
 TEST(CacheGeometryTest, Derived)

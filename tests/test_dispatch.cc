@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the LLC's compile-time policy dispatch: the typed
+ * (devirtualized) hot path must be byte-identical in behaviour to
+ * the virtual-dispatch fallback across the whole policy zoo, the
+ * dispatch-kind detection must pick the right instantiation (and
+ * refuse lookalike subclasses), and flush-periodic differential
+ * replays must hold against the independent reference models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "core/policy_factory.hh"
+#include "policies/rrip.hh"
+#include "policies/ship.hh"
+#include "verify/differential.hh"
+
+using namespace rlr;
+
+namespace
+{
+
+/** Equivalence spec sized so DRRIP's 32 leader sets fit. */
+verify::DiffSpec
+zooSpec(const std::string &policy, uint64_t seed)
+{
+    verify::DiffSpec spec;
+    spec.policy = policy;
+    spec.sets = 64;
+    spec.ways = 8;
+    spec.seed = seed;
+    spec.accesses = 1500;
+    spec.distinct_lines = 64 * 8 * 2;
+    return spec;
+}
+
+} // namespace
+
+/**
+ * The central tentpole oracle: for every factory policy, a typed
+ * cache and a forced-virtual cache replaying the same fuzz trace
+ * must agree on per-access completion times, per-set contents
+ * after every access, and the full final counter set.
+ */
+TEST(Dispatch, TypedAndVirtualPathsAreEquivalent)
+{
+    for (const auto &policy : core::knownPolicies()) {
+        const std::string err = verify::dispatchEquivalenceError(
+            zooSpec(policy, 11));
+        EXPECT_EQ(err, "") << "policy " << policy;
+    }
+}
+
+/** Same oracle with periodic flushes (policy reset parity). */
+TEST(Dispatch, EquivalenceHoldsAcrossFlushes)
+{
+    for (const auto &policy : core::knownPolicies()) {
+        auto spec = zooSpec(policy, 23);
+        spec.flush_period = 311;
+        const std::string err =
+            verify::dispatchEquivalenceError(spec);
+        EXPECT_EQ(err, "") << "policy " << policy;
+    }
+}
+
+/**
+ * Flush-then-access differential against the independent
+ * reference models: periodic Cache::flush / RefCache::flush pairs
+ * must keep production and reference in lockstep, which pins down
+ * ReplacementPolicy::reset() for every reference-modeled policy
+ * (including RNG re-seeding in BRRIP/DRRIP).
+ */
+TEST(Dispatch, FlushDifferentialAgainstReferenceModels)
+{
+    for (const auto &policy : verify::referencePolicies()) {
+        verify::DiffSpec spec;
+        spec.policy = policy;
+        spec.sets = 8;
+        spec.ways = 4;
+        spec.seed = 5;
+        spec.accesses = 2000;
+        spec.distinct_lines = 96;
+        spec.flush_period = 237;
+        const auto result = verify::runDifferential(spec);
+        EXPECT_TRUE(result.ok)
+            << "policy " << policy << "\n"
+            << result.repro;
+    }
+}
+
+TEST(Dispatch, KindDetectionMatchesPolicy)
+{
+    const std::vector<std::pair<std::string, std::string>> cases = {
+        {"LRU", "LRU"},         {"SRRIP", "SRRIP"},
+        {"BRRIP", "BRRIP"},     {"DRRIP", "DRRIP"},
+        {"SHiP", "SHiP"},       {"RLR", "RLR"},
+        {"RLR-unopt", "RLR"},   {"RLR-bypass", "RLR"},
+        // Derived/exotic policies must take the virtual fallback:
+        // a devirtualized base-class call would skip their
+        // overrides.
+        {"SHiP++", "generic"},  {"Hawkeye", "generic"},
+        {"Glider", "generic"},  {"MPPPB", "generic"},
+        {"KPC-R", "generic"},   {"EVA", "generic"},
+        {"PDP", "generic"},     {"Random", "generic"},
+    };
+    cache::CacheGeometry geom;
+    geom.name = "L";
+    geom.size_bytes = 64 * 1024;
+    geom.ways = 8;
+    for (const auto &[policy, kind] : cases) {
+        class Sink : public cache::MemoryLevel
+        {
+          public:
+            uint64_t
+            access(const cache::MemRequest &,
+                   uint64_t now) override
+            {
+                return now;
+            }
+            const std::string &
+            name() const override
+            {
+                static const std::string n = "sink";
+                return n;
+            }
+        } sink;
+        cache::Cache c(geom, core::makePolicy(policy, 1), &sink);
+        EXPECT_STREQ(c.dispatchKind(), kind.c_str())
+            << "policy " << policy;
+        c.setForceGenericDispatch(true);
+        EXPECT_STREQ(c.dispatchKind(), "generic")
+            << "policy " << policy;
+        c.setForceGenericDispatch(false);
+        EXPECT_STREQ(c.dispatchKind(), kind.c_str())
+            << "policy " << policy;
+    }
+}
+
+/**
+ * A subclass of a devirtualized policy type must NOT match its
+ * base's typed instantiation, even when it overrides nothing the
+ * hot path calls — exact-type detection, not is-a.
+ */
+TEST(Dispatch, SubclassFallsBackToGeneric)
+{
+    class TweakedSrrip : public policies::SrripPolicy
+    {
+      public:
+        using policies::SrripPolicy::SrripPolicy;
+    };
+    class Sink : public cache::MemoryLevel
+    {
+      public:
+        uint64_t
+        access(const cache::MemRequest &, uint64_t now) override
+        {
+            return now;
+        }
+        const std::string &
+        name() const override
+        {
+            static const std::string n = "sink";
+            return n;
+        }
+    } sink;
+    cache::CacheGeometry geom;
+    geom.name = "L";
+    geom.size_bytes = 16 * 1024;
+    geom.ways = 4;
+    cache::Cache c(geom, std::make_unique<TweakedSrrip>(2), &sink);
+    EXPECT_STREQ(c.dispatchKind(), "generic");
+}

@@ -96,6 +96,10 @@ main(int argc, char **argv)
     parser.addOption("max-ways", "8", "Largest associativity fuzzed");
     parser.addOption("belady-cells", "2",
                      "Belady-bound checks per policy (0 disables)");
+    parser.addOption("flush-period", "0",
+                     "Flush both models every N accesses inside "
+                     "each differential cell (0 = never; "
+                     "exercises flush/reset parity)");
     parser.addFlag("mutate",
                    "Mutation self-test: corrupt victim choices and "
                    "FAIL unless the harness detects it");
@@ -120,6 +124,7 @@ main(int argc, char **argv)
     const auto max_ways =
         static_cast<uint32_t>(parser.getUint("max-ways"));
     const uint64_t belady_cells = parser.getUint("belady-cells");
+    const uint64_t flush_period = parser.getUint("flush-period");
     const bool mutate = parser.getFlag("mutate");
     const bool verbose = parser.getFlag("verbose");
 
@@ -162,9 +167,10 @@ main(int argc, char **argv)
     uint64_t mismatches = 0;
     for (uint64_t i = 0; i < cells; ++i) {
         const auto &policy = policies[i % policies.size()];
-        const auto spec =
+        auto spec =
             randomSpec(policy, shape_rng, master_seed, i, max_sets,
                        max_ways, accesses);
+        spec.flush_period = flush_period;
         if (verbose)
             std::printf("[%llu/%llu] %s\n",
                         static_cast<unsigned long long>(i + 1),
