@@ -14,12 +14,15 @@
 #include <string>
 #include <vector>
 
+#include "obs/chrome_trace.hh"
 #include "obs/events_io.hh"
+#include "obs/profiler.hh"
 #include "sim/experiment.hh"
 #include "sim/sweep_runner.hh"
 #include "stats/stats.hh"
 #include "trace/workloads.hh"
 #include "util/args.hh"
+#include "util/atomic_file.hh"
 #include "util/rng.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -50,6 +53,9 @@ struct BenchOptions
     /** --journal: base directory for durable sweep journals
      *  (each sweep in the binary gets a sweep-NNN subdir). */
     std::string journal;
+    /** --profile: self-profile JSON export path (enables the
+     *  scoped profiler for the whole run). */
+    std::string profile;
 
     /** RL-specific scaling. */
     uint64_t rl_instructions = 300'000;
@@ -123,6 +129,21 @@ makeParser(const std::string &description)
                      "kind[:N]@<index|workload:policy> or "
                      "kind%rate; kinds: throw, transient, hang, "
                      "abort, corrupt-journal");
+    parser.addOption("profile", "",
+                     "Enable the scoped self-profiler and write "
+                     "the merged call tree as JSON to this path "
+                     "(tools/inspect --profile input)");
+    parser.addOption("heartbeat", "",
+                     "Write a machine-readable sweep heartbeat "
+                     "file (atomically replaced every period; "
+                     "tools/inspect --top input)");
+    parser.addOption("heartbeat-period", "0.5",
+                     "Heartbeat refresh period in seconds "
+                     "(with --heartbeat)");
+    parser.addFlag("resources",
+                   "Record per-cell CPU/RSS/fault telemetry "
+                   "(obs.res.* stats, cpu_*/max_rss_kb JSON "
+                   "fields)");
     parser.addFlag("stable-json",
                    "Zero wall-clock telemetry (runtime_s, mips, "
                    "retry_wait_s) in JSON exports so same-seed "
@@ -160,6 +181,13 @@ makeOptions(const util::ArgParser &parser)
     }
     opt.params.llc_epoch_length = parser.getUint("epoch");
     opt.journal = parser.get("journal");
+    opt.profile = parser.get("profile");
+    if (!opt.profile.empty())
+        obs::Profiler::instance().setEnabled(true);
+    opt.sweep.heartbeat_path = parser.get("heartbeat");
+    opt.sweep.heartbeat_period_s =
+        parser.getDouble("heartbeat-period");
+    opt.params.record_resources = parser.getFlag("resources");
     opt.sweep.cell_timeout_s = parser.getDouble("cell-timeout");
     opt.sweep.cell_retries =
         static_cast<uint32_t>(parser.getUint("cell-retries"));
@@ -296,8 +324,29 @@ finish(const BenchOptions &opt)
         }
         obs::writeEvents(opt.events, logs);
     }
-    if (!opt.chrome_trace.empty())
-        sim::SweepRunner::writeChromeTrace(opt.chrome_trace, cells);
+    obs::ProfileData profile_data;
+    if (!opt.profile.empty()) {
+        profile_data = obs::Profiler::instance().collect();
+        util::atomicWriteFileOrFatal(
+            opt.profile,
+            obs::profileToJson(profile_data,
+                               opt.sweep.stable_telemetry));
+    }
+    if (!opt.chrome_trace.empty()) {
+        std::vector<obs::TraceSpan> spans =
+            sim::SweepRunner::cellTraceSpans(cells);
+        obs::assignLanes(spans);
+        if (!opt.profile.empty()) {
+            // Profiler spans live in their own process row
+            // (pid 2) with per-thread lanes, so appending after
+            // lane assignment keeps the sweep schedule packing.
+            const auto prof = obs::profileTraceSpans(profile_data);
+            spans.insert(spans.end(), prof.begin(), prof.end());
+        }
+        util::atomicWriteFileOrFatal(
+            opt.chrome_trace,
+            obs::chromeTraceJson(spans, "sweep"));
+    }
     const auto &robustness = detail::sweepStats();
     if (robustness.value("retries") + robustness.value("timeouts") +
             robustness.value("resumed_cells") +

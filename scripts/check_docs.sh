@@ -122,7 +122,10 @@ for f in $inspect_flags; do
         err "inspect flag '--$f' is not documented in" \
             "docs/OBSERVABILITY.md"
 done
-for needle in "llc.epoch." "llc.events." scripts/inspect_e2e.sh; do
+for needle in "llc.epoch." "llc.events." scripts/inspect_e2e.sh \
+              "obs.prof." "obs.res." rlr-heartbeat \
+              scripts/heartbeat_e2e.sh PROF_tier1.json \
+              RLR_PROF_SCOPE; do
     grep -q "$needle" docs/OBSERVABILITY.md ||
         err "'$needle' is not documented in docs/OBSERVABILITY.md"
 done
@@ -172,7 +175,8 @@ for f in $st_flags; do
             "docs/PERFORMANCE.md"
 done
 for needle in BENCH_sim_throughput.json scripts/ci.sh \
-              sim_throughput_guard setForceGenericDispatch; do
+              sim_throughput_guard setForceGenericDispatch \
+              phase_self_ns; do
     grep -q "$needle" docs/PERFORMANCE.md ||
         err "'$needle' is not documented in docs/PERFORMANCE.md"
 done

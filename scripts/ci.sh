@@ -9,9 +9,12 @@
 #
 # The release stage additionally runs the LLC hot-path throughput
 # benchmark (bench/sim_throughput) and exports its per-policy
-# numbers to BENCH_sim_throughput.json — the tracked perf
-# trajectory (docs/PERFORMANCE.md). Set RLR_STABLE_BENCH=1 to zero
-# the wall-clock fields so same-seed runs are byte-identical.
+# numbers (including the profiled per-phase breakdown) to
+# BENCH_sim_throughput.json — the tracked perf trajectory
+# (docs/PERFORMANCE.md) — and exports a self-profile of the
+# tier-1 sweep path to PROF_tier1.json (docs/OBSERVABILITY.md).
+# Set RLR_STABLE_BENCH=1 to zero the wall-clock fields so
+# same-seed runs are byte-identical.
 #
 # Usage: scripts/ci.sh [-j N]
 #   -j N   parallel build/test jobs (default: nproc)
@@ -59,9 +62,26 @@ run_sim_throughput() {
         --json=BENCH_sim_throughput.json $stable_flag
 }
 
+run_profile_artifact() {
+    local dir="$1"
+    echo "=== ci: tier-1 self-profile (PROF_tier1.json) ==="
+    local stable_flag=""
+    if [ "${RLR_STABLE_BENCH:-0}" != "0" ]; then
+        stable_flag="--stable-json"
+    fi
+    # shellcheck disable=SC2086  # stable_flag is empty or one flag
+    "$dir/bench/fig12_mpki" \
+        --workloads 429.mcf,470.lbm --policies RLR \
+        --warmup 50000 --instructions 200000 \
+        --profile PROF_tier1.json $stable_flag >/dev/null
+    # The export must render (also validates the JSON).
+    "$dir/tools/inspect" --profile PROF_tier1.json >/dev/null
+}
+
 run_stage "release" build -DCMAKE_BUILD_TYPE=Release
 run_crash_resume "release" build
 run_sim_throughput build
+run_profile_artifact build
 
 # Sanitizer stage: RelWithDebInfo keeps line numbers in reports
 # without debug-build slowness; halt_on_error via

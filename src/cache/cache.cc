@@ -10,6 +10,7 @@
 #include "core/rlr.hh"
 #include "obs/epoch.hh"
 #include "obs/event_log.hh"
+#include "obs/profiler.hh"
 #include "policies/lru.hh"
 #include "policies/rrip.hh"
 #include "policies/ship.hh"
@@ -321,6 +322,10 @@ template <bool Obs, class P>
 uint64_t
 Cache::accessImpl(const MemRequest &req, uint64_t now)
 {
+    // Sampled 1-in-64: the access path runs tens of millions of
+    // times per cell, so even two clock reads per span would show
+    // up; the profile scales the estimates back up by the shift.
+    RLR_PROF_SCOPE_IF_SAMPLED(profiled_, "sim.llc.access", 6);
     now += geom_.latency;
     const uint64_t line = CacheGeometry::lineAddress(req.address);
     const uint64_t tag = geom_.tag(line);
@@ -335,7 +340,11 @@ Cache::accessImpl(const MemRequest &req, uint64_t now)
         sink_(rec);
     }
 
-    const uint32_t hit_way = lookup(set, tag);
+    uint32_t hit_way;
+    {
+        RLR_PROF_SCOPE_IF(profiled_, "sim.llc.lookup");
+        hit_way = lookup(set, tag);
+    }
     const bool demand = trace::isDemand(req.type);
 
     if (hit_way != kNoWay) {
@@ -382,7 +391,10 @@ Cache::accessImpl(const MemRequest &req, uint64_t now)
         ctx.pc = req.pc;
         ctx.type = req.type;
         ctx.hit = true;
-        policyOnAccess<P>(ctx);
+        {
+            RLR_PROF_SCOPE_IF(profiled_, "sim.llc.policy");
+            policyOnAccess<P>(ctx);
+        }
         if (demand)
             runPrefetcher(req, true, now);
         if (verify_)
@@ -452,6 +464,7 @@ template <bool Obs, class P>
 bool
 Cache::fillImpl(const MemRequest &req, uint64_t ready, bool dirty)
 {
+    RLR_PROF_SCOPE_IF(profiled_, "sim.llc.fill");
     const uint64_t line = CacheGeometry::lineAddress(req.address);
     const uint32_t set = geom_.setIndex(line);
     const size_t base = static_cast<size_t>(set) * geom_.ways;
@@ -465,6 +478,7 @@ Cache::fillImpl(const MemRequest &req, uint64_t ready, bool dirty)
     }
 
     if (way == geom_.ways) {
+        RLR_PROF_SCOPE_IF(profiled_, "sim.llc.victim");
         for (uint32_t w = 0; w < geom_.ways; ++w) {
             view_scratch_[w] =
                 BlockView{valid_[base + w] != 0,

@@ -103,6 +103,16 @@ class Cache : public MemoryLevel
     bool verifyingInvariants() const { return verify_; }
 
     /**
+     * Opt this cache into the scoped-span self-profiler
+     * (obs/profiler.hh). Off by default; sim::System enables it
+     * for the LLC only, so the sampled `sim.llc.*` spans cover
+     * the level the replacement-policy work actually runs at
+     * while L1/L2 stay uninstrumented (enabled-overhead budget).
+     */
+    void setProfiled(bool v) { profiled_ = v; }
+    bool profiled() const { return profiled_; }
+
+    /**
      * Route every access through the virtual-dispatch fallback
      * instantiation even when a compile-time specialization is
      * available. Bench/test aid: the dispatch-equivalence oracle
@@ -274,6 +284,8 @@ class Cache : public MemoryLevel
     float pf_fill_threshold_ = 0.0f;
     /** Invariant checking armed (RLR_VERIFY / fuzz harness). */
     bool verify_ = false;
+    /** Self-profiler spans armed (sim::System arms the LLC). */
+    bool profiled_ = false;
 
     /**
      * Per-line metadata as struct-of-arrays lanes, indexed by

@@ -1,0 +1,523 @@
+#include "obs/profiler.hh"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/chrome_trace.hh"
+#include "stats/export.hh"
+#include "stats/registry.hh"
+#include "util/format.hh"
+#include "util/histogram.hh"
+#include "util/logging.hh"
+
+namespace rlr::obs
+{
+
+namespace profdetail
+{
+
+/** Raw-span ring capacity per thread (power of two). */
+constexpr size_t kRingCap = 4096;
+/** log2(ns) buckets: covers 1ns .. ~584 years. */
+constexpr size_t kHistBuckets = 64;
+
+/** One call-tree node of one thread. */
+struct Node
+{
+    Node(const char *n, Node *p, uint32_t s)
+        : name(n), parent(p), shift(s)
+    {
+    }
+
+    /** Site name; compared by content (cross-TU literals merge
+     *  at collect() time, pointer-compare is only a fast path). */
+    const char *name;
+    Node *parent;
+    /** Sampling shift declared at this site (1-in-2^shift). */
+    uint32_t shift;
+    uint64_t calls = 0;
+    uint64_t total_ns = 0;
+    util::Histogram log2_ns{kHistBuckets, 1};
+    std::vector<std::unique_ptr<Node>> children;
+};
+
+struct SpanSlot
+{
+    const Node *node = nullptr;
+    uint64_t start_ns = 0;
+    uint64_t duration_ns = 0;
+};
+
+/** All profiling state of one thread; created lazily, kept for
+ *  the process lifetime (collect() reads exited threads too). */
+struct ThreadState
+{
+    Node root{"", nullptr, 0};
+    Node *current = &root;
+    /** Depth of the suppressed (sampled-out) subtree, 0 = live. */
+    uint32_t suppress = 0;
+    /** Per-thread sample tick shared by every sampled site. */
+    uint64_t tick = 0;
+    /** Spans recorded (post-sampling). */
+    uint64_t spans = 0;
+    std::vector<SpanSlot> ring{kRingCap};
+    uint64_t ring_next = 0;
+    /** Registration index (ProfileSpan::thread). */
+    uint32_t index = 0;
+};
+
+namespace
+{
+
+std::mutex g_registry_mutex;
+std::atomic<uint64_t> g_epoch_ns{0};
+
+std::vector<std::unique_ptr<ThreadState>> &
+states()
+{
+    static std::vector<std::unique_ptr<ThreadState>> v;
+    return v;
+}
+
+thread_local ThreadState *t_state = nullptr;
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+ThreadState &
+threadState()
+{
+    if (t_state == nullptr) {
+        auto st = std::make_unique<ThreadState>();
+        std::scoped_lock lock(g_registry_mutex);
+        st->index = static_cast<uint32_t>(states().size());
+        t_state = st.get();
+        states().push_back(std::move(st));
+    }
+    return *t_state;
+}
+
+void
+zeroTree(Node &node)
+{
+    node.calls = 0;
+    node.total_ns = 0;
+    node.log2_ns.reset();
+    for (auto &c : node.children)
+        zeroTree(*c);
+}
+
+} // namespace
+
+} // namespace profdetail
+
+void
+ProfScope::enter(const char *name, uint32_t shift)
+{
+    using profdetail::Node;
+    profdetail::ThreadState &s = profdetail::threadState();
+    state_ = &s;
+
+    // Sampled-out scopes (and anything nested inside one) only
+    // bump a suppression depth: the tree stays coherent because a
+    // child span is never recorded under a skipped parent.
+    if (s.suppress != 0 ||
+        (shift != 0 &&
+         (s.tick++ & ((1ULL << shift) - 1)) != 0)) {
+        ++s.suppress;
+        mode_ = Mode::Suppressed;
+        return;
+    }
+
+    Node *node = nullptr;
+    for (auto &c : s.current->children) {
+        if (c->name == name ||
+            std::string_view(c->name) == name) {
+            node = c.get();
+            break;
+        }
+    }
+    if (node == nullptr) {
+        s.current->children.push_back(
+            std::make_unique<Node>(name, s.current, shift));
+        node = s.current->children.back().get();
+    }
+    ++node->calls;
+    s.current = node;
+    mode_ = Mode::Recording;
+    start_ns_ = profdetail::nowNs();
+}
+
+void
+ProfScope::leave()
+{
+    profdetail::ThreadState &s = *state_;
+    if (mode_ == Mode::Suppressed) {
+        --s.suppress;
+        return;
+    }
+    const uint64_t dur = profdetail::nowNs() - start_ns_;
+    profdetail::Node *node = s.current;
+    node->total_ns += dur;
+    node->log2_ns.sample(
+        static_cast<uint64_t>(std::bit_width(dur)));
+    s.current = node->parent;
+
+    profdetail::SpanSlot &slot =
+        s.ring[s.ring_next & (profdetail::kRingCap - 1)];
+    ++s.ring_next;
+    slot.node = node;
+    slot.start_ns = start_ns_;
+    slot.duration_ns = dur;
+    ++s.spans;
+}
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler p;
+    return p;
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    if (on &&
+        profdetail::g_epoch_ns.load(std::memory_order_relaxed) ==
+            0) {
+        profdetail::g_epoch_ns.store(profdetail::nowNs(),
+                                     std::memory_order_relaxed);
+    }
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+Profiler::reset()
+{
+    std::scoped_lock lock(profdetail::g_registry_mutex);
+    for (auto &st : profdetail::states()) {
+        profdetail::zeroTree(st->root);
+        st->current = &st->root;
+        st->suppress = 0;
+        st->tick = 0;
+        st->spans = 0;
+        st->ring_next = 0;
+    }
+    profdetail::g_epoch_ns.store(profdetail::nowNs(),
+                                 std::memory_order_relaxed);
+}
+
+uint64_t
+Profiler::threadSpans() const
+{
+    return profdetail::t_state != nullptr
+               ? profdetail::t_state->spans
+               : 0;
+}
+
+namespace
+{
+
+/** Aggregation node keyed by name (merges threads and cross-TU
+ *  duplicate name literals). */
+struct MergeNode
+{
+    uint64_t recorded_calls = 0;
+    uint64_t total_ns = 0;
+    uint32_t shift = 0;
+    util::Histogram log2_ns{profdetail::kHistBuckets, 1};
+    std::map<std::string, MergeNode> children;
+};
+
+void
+mergeTree(const profdetail::Node &src,
+          std::map<std::string, MergeNode> &out)
+{
+    for (const auto &c : src.children) {
+        if (c->calls == 0)
+            continue;
+        MergeNode &m = out[c->name];
+        if (m.recorded_calls == 0)
+            m.shift = c->shift;
+        m.recorded_calls += c->calls;
+        m.total_ns += c->total_ns;
+        m.log2_ns.merge(c->log2_ns);
+        mergeTree(*c, m.children);
+    }
+}
+
+uint64_t
+shiftUp(uint64_t v, uint32_t shift)
+{
+    return shift >= 64 ? 0 : v << shift;
+}
+
+/** log2 bucket index -> power-of-two nanosecond upper bound. */
+uint64_t
+bucketToNs(uint64_t bucket)
+{
+    return bucket >= 64 ? ~0ULL : (1ULL << bucket);
+}
+
+ProfileNode
+convert(const std::string &name, const MergeNode &m,
+        uint32_t path_shift, uint64_t &sites)
+{
+    ++sites;
+    const uint32_t shift = path_shift + m.shift;
+    ProfileNode out;
+    out.name = name;
+    out.recorded_calls = m.recorded_calls;
+    out.calls = shiftUp(m.recorded_calls, shift);
+    out.total_ns = shiftUp(m.total_ns, shift);
+    uint64_t child_total = 0;
+    for (const auto &[cn, cm] : m.children) {
+        out.children.push_back(convert(cn, cm, shift, sites));
+        child_total += out.children.back().total_ns;
+    }
+    out.self_ns = out.total_ns > child_total
+                      ? out.total_ns - child_total
+                      : 0;
+    if (m.log2_ns.count() > 0) {
+        out.p50_ns = bucketToNs(m.log2_ns.quantile(0.50));
+        out.p90_ns = bucketToNs(m.log2_ns.quantile(0.90));
+        out.p99_ns = bucketToNs(m.log2_ns.quantile(0.99));
+    }
+    return out;
+}
+
+void
+spanPath(const profdetail::Node *node, std::string &out)
+{
+    if (node == nullptr || node->parent == nullptr) {
+        if (node != nullptr)
+            out = node->name;
+        return;
+    }
+    spanPath(node->parent, out);
+    if (!out.empty())
+        out += ';';
+    out += node->name;
+}
+
+} // namespace
+
+ProfileData
+Profiler::collect() const
+{
+    std::scoped_lock lock(profdetail::g_registry_mutex);
+    ProfileData data;
+    const uint64_t epoch =
+        profdetail::g_epoch_ns.load(std::memory_order_relaxed);
+
+    std::map<std::string, MergeNode> roots;
+    for (const auto &st : profdetail::states()) {
+        if (st->spans == 0)
+            continue;
+        ++data.threads;
+        data.spans += st->spans;
+        mergeTree(st->root, roots);
+
+        const uint64_t kept = std::min<uint64_t>(
+            st->ring_next, profdetail::kRingCap);
+        const uint64_t first = st->ring_next - kept;
+        for (uint64_t j = first; j < st->ring_next; ++j) {
+            const profdetail::SpanSlot &slot =
+                st->ring[j & (profdetail::kRingCap - 1)];
+            ProfileSpan span;
+            spanPath(slot.node, span.path);
+            span.thread = st->index;
+            span.start_ns = slot.start_ns > epoch
+                                ? slot.start_ns - epoch
+                                : 0;
+            span.duration_ns = slot.duration_ns;
+            data.recent.push_back(std::move(span));
+        }
+    }
+    for (const auto &[name, m] : roots)
+        data.roots.push_back(convert(name, m, 0, data.sites));
+    std::stable_sort(data.recent.begin(), data.recent.end(),
+                     [](const ProfileSpan &a,
+                        const ProfileSpan &b) {
+                         return a.start_ns < b.start_ns;
+                     });
+    return data;
+}
+
+namespace
+{
+
+uint64_t
+zeroIf(bool stable, uint64_t v)
+{
+    return stable ? 0 : v;
+}
+
+void
+nodeToJson(std::string &out, const ProfileNode &n, bool stable,
+           int indent)
+{
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    out += pad + "{\n";
+    out += pad + util::format("  \"name\": \"{}\",\n",
+                              stats::json::escape(n.name));
+    out += pad + util::format("  \"recorded_calls\": {},\n",
+                              n.recorded_calls);
+    out += pad + util::format("  \"calls\": {},\n", n.calls);
+    out += pad + util::format("  \"total_ns\": {},\n",
+                              zeroIf(stable, n.total_ns));
+    out += pad + util::format("  \"self_ns\": {},\n",
+                              zeroIf(stable, n.self_ns));
+    out += pad + util::format("  \"p50_ns\": {},\n",
+                              zeroIf(stable, n.p50_ns));
+    out += pad + util::format("  \"p90_ns\": {},\n",
+                              zeroIf(stable, n.p90_ns));
+    out += pad + util::format("  \"p99_ns\": {},\n",
+                              zeroIf(stable, n.p99_ns));
+    out += pad + "  \"children\": [";
+    for (size_t i = 0; i < n.children.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        nodeToJson(out, n.children[i], stable, indent + 4);
+    }
+    if (!n.children.empty())
+        out += "\n" + pad + "  ";
+    out += "]\n";
+    out += pad + "}";
+}
+
+ProfileNode
+nodeFromJson(const stats::json::Value &v)
+{
+    ProfileNode n;
+    n.name = v.stringOr("name", "");
+    n.recorded_calls = static_cast<uint64_t>(
+        v.numberOr("recorded_calls", 0));
+    n.calls = static_cast<uint64_t>(v.numberOr("calls", 0));
+    n.total_ns =
+        static_cast<uint64_t>(v.numberOr("total_ns", 0));
+    n.self_ns = static_cast<uint64_t>(v.numberOr("self_ns", 0));
+    n.p50_ns = static_cast<uint64_t>(v.numberOr("p50_ns", 0));
+    n.p90_ns = static_cast<uint64_t>(v.numberOr("p90_ns", 0));
+    n.p99_ns = static_cast<uint64_t>(v.numberOr("p99_ns", 0));
+    if (const auto *kids = v.find("children");
+        kids != nullptr && kids->isArray()) {
+        for (const auto &kv : kids->array)
+            n.children.push_back(nodeFromJson(kv));
+    }
+    return n;
+}
+
+void
+foldNode(const ProfileNode &n, const std::string &prefix,
+         std::string &out)
+{
+    const std::string path =
+        prefix.empty() ? n.name : prefix + ";" + n.name;
+    out += util::format("{} {}\n", path, n.self_ns);
+    for (const auto &c : n.children)
+        foldNode(c, path, out);
+}
+
+} // namespace
+
+std::string
+profileToJson(const ProfileData &data, bool stable)
+{
+    std::string out = "{\n";
+    out += "  \"format\": \"rlr-profile\",\n";
+    out += util::format("  \"threads\": {},\n", data.threads);
+    out += util::format("  \"spans\": {},\n", data.spans);
+    out += util::format("  \"sites\": {},\n", data.sites);
+    out += "  \"tree\": [";
+    for (size_t i = 0; i < data.roots.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        nodeToJson(out, data.roots[i], stable, 4);
+    }
+    if (!data.roots.empty())
+        out += "\n  ";
+    out += "]\n}\n";
+    return out;
+}
+
+ProfileData
+profileFromJson(const std::string &text)
+{
+    const auto root = stats::json::parse(text);
+    if (!root.isObject() ||
+        root.stringOr("format", "") != "rlr-profile") {
+        throw std::runtime_error(
+            "not a profile export (missing "
+            "\"format\": \"rlr-profile\")");
+    }
+    ProfileData data;
+    data.threads =
+        static_cast<uint64_t>(root.numberOr("threads", 0));
+    data.spans = static_cast<uint64_t>(root.numberOr("spans", 0));
+    data.sites = static_cast<uint64_t>(root.numberOr("sites", 0));
+    if (const auto *tree = root.find("tree");
+        tree != nullptr && tree->isArray()) {
+        for (const auto &v : tree->array)
+            data.roots.push_back(nodeFromJson(v));
+    }
+    return data;
+}
+
+std::string
+profileFolded(const ProfileData &data)
+{
+    std::string out;
+    for (const auto &r : data.roots)
+        foldNode(r, "", out);
+    return out;
+}
+
+std::vector<TraceSpan>
+profileTraceSpans(const ProfileData &data)
+{
+    std::vector<TraceSpan> spans;
+    spans.reserve(data.recent.size());
+    for (const ProfileSpan &p : data.recent) {
+        TraceSpan s;
+        const size_t leaf = p.path.rfind(';');
+        s.name = leaf == std::string::npos
+                     ? p.path
+                     : p.path.substr(leaf + 1);
+        s.category = "prof";
+        s.start_us = p.start_ns / 1000;
+        s.duration_us = p.duration_ns / 1000;
+        s.pid = 2;
+        s.tid = p.thread;
+        s.args.emplace_back(
+            "path",
+            "\"" + stats::json::escape(p.path) + "\"");
+        spans.push_back(std::move(s));
+    }
+    return spans;
+}
+
+void
+describeProfilerStats(stats::Registry &reg,
+                      const std::string &prefix)
+{
+    reg.bindCounter(
+        prefix + ".enabled",
+        [] { return Profiler::profilingEnabled() ? 1u : 0u; },
+        "span recording active during this snapshot");
+    reg.bindCounter(
+        prefix + ".thread_spans",
+        [] { return Profiler::instance().threadSpans(); },
+        "profiler spans recorded by the snapshotting thread");
+}
+
+} // namespace rlr::obs

@@ -1,0 +1,130 @@
+#include "obs/resource.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "stats/registry.hh"
+
+namespace rlr::obs
+{
+
+namespace
+{
+
+double
+tvSeconds(const timeval &tv)
+{
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+double
+steadySeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+ResourceSample
+ResourceSample::now(Scope scope)
+{
+    ResourceSample s;
+    s.wall_s = steadySeconds();
+
+#ifdef RUSAGE_THREAD
+    const int who =
+        scope == Scope::Thread ? RUSAGE_THREAD : RUSAGE_SELF;
+#else
+    static_cast<void>(scope);
+    const int who = RUSAGE_SELF;
+#endif
+    rusage ru{};
+    if (getrusage(who, &ru) == 0) {
+        s.cpu_user_s = tvSeconds(ru.ru_utime);
+        s.cpu_sys_s = tvSeconds(ru.ru_stime);
+        s.minor_faults = static_cast<uint64_t>(ru.ru_minflt);
+        s.major_faults = static_cast<uint64_t>(ru.ru_majflt);
+    }
+    // ru_maxrss is always process-wide; re-read it for Thread
+    // scope so every sample carries the true high-water mark.
+    rusage self{};
+    if (who != RUSAGE_SELF)
+        getrusage(RUSAGE_SELF, &self);
+    else
+        self = ru;
+    s.max_rss_kb = static_cast<uint64_t>(self.ru_maxrss);
+    return s;
+}
+
+ResourceSample
+ResourceSample::deltaFrom(const ResourceSample &start) const
+{
+    const auto sub = [](double a, double b) {
+        return a > b ? a - b : 0.0;
+    };
+    const auto subu = [](uint64_t a, uint64_t b) {
+        return a > b ? a - b : 0;
+    };
+    ResourceSample d;
+    d.wall_s = sub(wall_s, start.wall_s);
+    d.cpu_user_s = sub(cpu_user_s, start.cpu_user_s);
+    d.cpu_sys_s = sub(cpu_sys_s, start.cpu_sys_s);
+    d.max_rss_kb = max_rss_kb;
+    d.minor_faults = subu(minor_faults, start.minor_faults);
+    d.major_faults = subu(major_faults, start.major_faults);
+    return d;
+}
+
+uint64_t
+currentRssKb()
+{
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr)
+        return 0;
+    unsigned long long size = 0;
+    unsigned long long resident = 0;
+    const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+    std::fclose(f);
+    if (got != 2)
+        return 0;
+    const long page = sysconf(_SC_PAGESIZE);
+    return resident * static_cast<uint64_t>(page > 0 ? page : 4096) /
+           1024;
+}
+
+void
+describeResourceStats(stats::Registry &reg,
+                      const std::string &prefix,
+                      const ResourceSample &delta)
+{
+    const auto ms = [](double s) {
+        return static_cast<uint64_t>(s * 1e3);
+    };
+    reg.counter(prefix + ".cpu_user_ms",
+                "user CPU time of the measured region") =
+        ms(delta.cpu_user_s);
+    reg.counter(prefix + ".cpu_sys_ms",
+                "system CPU time of the measured region") =
+        ms(delta.cpu_sys_s);
+    reg.counter(prefix + ".wall_ms",
+                "wall-clock time of the measured region") =
+        ms(delta.wall_s);
+    reg.counter(prefix + ".max_rss_kb",
+                "process peak resident set size (KiB)") =
+        delta.max_rss_kb;
+    reg.counter(prefix + ".minor_faults",
+                "minor page faults in the measured region") =
+        delta.minor_faults;
+    reg.counter(prefix + ".major_faults",
+                "major page faults in the measured region") =
+        delta.major_faults;
+}
+
+} // namespace rlr::obs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Process/thread resource sampling: CPU time, peak RSS, and page
+ * faults via getrusage(2) plus steady-clock wall time, exported
+ * per sweep cell and under the `obs.res.*` registry prefix
+ * (docs/OBSERVABILITY.md).
+ *
+ * Samples are cheap (one syscall) and monotonic-ish: take one at
+ * the start of a region, another at the end, and deltaFrom()
+ * yields the region's cost. Peak RSS is a process-lifetime
+ * high-water mark, so its "delta" reports the end value instead.
+ */
+
+#ifndef RLR_OBS_RESOURCE_HH
+#define RLR_OBS_RESOURCE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rlr::stats
+{
+class Registry;
+} // namespace rlr::stats
+
+namespace rlr::obs
+{
+
+/** One getrusage + steady-clock reading. */
+struct ResourceSample
+{
+    /** What the CPU counters cover. */
+    enum class Scope
+    {
+        Process, //!< RUSAGE_SELF: every thread
+        Thread,  //!< RUSAGE_THREAD where available, else process
+    };
+
+    double wall_s = 0.0;
+    double cpu_user_s = 0.0;
+    double cpu_sys_s = 0.0;
+    /** Process peak RSS in KiB (high-water mark, not current). */
+    uint64_t max_rss_kb = 0;
+    uint64_t minor_faults = 0;
+    uint64_t major_faults = 0;
+
+    /** Read the current counters for @p scope. */
+    static ResourceSample now(Scope scope = Scope::Process);
+
+    /**
+     * Cost since @p start: CPU/wall/fault fields subtract (clamped
+     * at zero); max_rss_kb keeps this sample's high-water mark.
+     */
+    ResourceSample deltaFrom(const ResourceSample &start) const;
+};
+
+/** Current (not peak) RSS in KiB via /proc/self/statm; 0 when
+ *  unavailable. */
+uint64_t currentRssKb();
+
+/**
+ * Register @p delta's fields as counters under @p prefix
+ * (obs.res.cpu_user_ms, .cpu_sys_ms, .wall_ms, .max_rss_kb,
+ * .minor_faults, .major_faults). Values are copied.
+ */
+void describeResourceStats(stats::Registry &reg,
+                           const std::string &prefix,
+                           const ResourceSample &delta);
+
+} // namespace rlr::obs
+
+#endif // RLR_OBS_RESOURCE_HH

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/profiler.hh"
+#include "obs/resource.hh"
 #include "sim/sweep_runner.hh"
 #include "stats/stats.hh"
 #include "trace/workloads.hh"
@@ -48,6 +50,12 @@ runWorkloads(const std::vector<std::string> &workloads,
              const SimParams &params)
 {
     util::ensure(!workloads.empty(), "runWorkloads: no workloads");
+    RLR_PROF_SCOPE("sim.run");
+    const obs::ResourceSample res_start =
+        params.record_resources
+            ? obs::ResourceSample::now(
+                  obs::ResourceSample::Scope::Thread)
+            : obs::ResourceSample{};
     const auto n = static_cast<uint32_t>(workloads.size());
 
     SystemConfig sys_cfg;
@@ -76,8 +84,10 @@ runWorkloads(const std::vector<std::string> &workloads,
                            auto instr_count) {
         if (n == 1) {
             const uint64_t done = instr_count(0);
-            if (done < target)
+            if (done < target) {
+                RLR_PROF_SCOPE("sim.core.run");
                 system.core(0).run(*gens[0], target - done);
+            }
             return;
         }
         for (;;) {
@@ -98,22 +108,30 @@ runWorkloads(const std::vector<std::string> &workloads,
             if (all_done)
                 break;
             const uint64_t remaining = target - instr_count(pick);
+            // Distinct name from the single-core span: this one is
+            // per-quantum and sampled, and a merged node keeps one
+            // sampling shift.
+            RLR_PROF_SCOPE_SAMPLED("sim.core.quantum", 6);
             system.core(pick).run(
                 *gens[pick],
                 std::min<uint64_t>(quantum, remaining));
         }
     };
 
-    // Warmup.
-    advance_all(params.warmup_instructions, [&](uint32_t i) {
-        return system.core(i).instructions();
-    });
+    {
+        RLR_PROF_SCOPE("sim.warmup");
+        advance_all(params.warmup_instructions, [&](uint32_t i) {
+            return system.core(i).instructions();
+        });
+    }
     system.resetStats();
 
-    // Measurement.
-    advance_all(params.sim_instructions, [&](uint32_t i) {
-        return system.core(i).measuredInstructions();
-    });
+    {
+        RLR_PROF_SCOPE("sim.measure");
+        advance_all(params.sim_instructions, [&](uint32_t i) {
+            return system.core(i).measuredInstructions();
+        });
+    }
 
     RunResult result;
     for (uint32_t i = 0; i < n; ++i) {
@@ -130,6 +148,15 @@ runWorkloads(const std::vector<std::string> &workloads,
     result.llc_demand_misses = system.llc().demandMisses();
     stats::Registry registry;
     system.describeStats(registry);
+    if (params.record_resources) {
+        const obs::ResourceSample delta =
+            obs::ResourceSample::now(
+                obs::ResourceSample::Scope::Thread)
+                .deltaFrom(res_start);
+        obs::describeResourceStats(registry, "obs.res", delta);
+    }
+    if (obs::Profiler::profilingEnabled())
+        obs::describeProfilerStats(registry, "obs.prof");
     result.stats = registry.snapshot();
     if (params.capture_llc_trace)
         result.llc_trace = system.llcTrace();
@@ -147,6 +174,7 @@ runSingleCore(const std::string &workload, const SimParams &params)
 trace::LlcTrace
 captureLlcTrace(const std::string &workload, const SimParams &params)
 {
+    RLR_PROF_SCOPE("sim.trace.capture");
     SimParams p = params;
     p.llc_policy = "LRU"; // unbiased capture, as in the paper
     p.capture_llc_trace = true;

@@ -41,6 +41,15 @@ struct SimParams
     uint64_t llc_epoch_length = 0;
 
     /**
+     * Export the run's resource cost (CPU time, peak RSS, page
+     * faults — obs/resource.hh) into the stats snapshot under
+     * `obs.res.*`. Off by default: the values are wall-clock-
+     * dependent, and the seed-determinism contract compares
+     * snapshots of same-seed runs byte for byte.
+     */
+    bool record_resources = false;
+
+    /**
      * Cancellation token polled by the run loops (borrowed; null
      * = no checkpointing). runWorkloads throws
      * util::CancelledError at the next checkpoint after a cancel
@@ -139,6 +148,15 @@ struct SweepCell
     bool timed_out = false;
     /** Loaded from a sweep journal instead of re-run. */
     bool resumed = false;
+
+    /** Worker-thread CPU time spent on this cell, seconds
+     *  (obs/resource.hh; zeroed under stable telemetry). */
+    double cpu_user_s = 0.0;
+    double cpu_sys_s = 0.0;
+    /** Process peak RSS observed when the cell finished (KiB). */
+    uint64_t max_rss_kb = 0;
+    /** Minor page faults charged to the worker during the cell. */
+    uint64_t minor_faults = 0;
 
     bool ok() const { return error.empty(); }
 };

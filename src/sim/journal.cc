@@ -1,11 +1,13 @@
 #include "sim/journal.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/profiler.hh"
 #include "stats/export.hh"
 #include "util/atomic_file.hh"
 #include "util/format.hh"
@@ -209,6 +211,14 @@ SweepJournal::cellToJson(const SweepCell &cell)
     out += util::format("  \"mips\": {},\n", number(cell.mips));
     out += util::format("  \"timed_out\": {},\n",
                         cell.timed_out ? "true" : "false");
+    out += util::format("  \"cpu_user_s\": {},\n",
+                        number(cell.cpu_user_s));
+    out += util::format("  \"cpu_sys_s\": {},\n",
+                        number(cell.cpu_sys_s));
+    out += util::format("  \"max_rss_kb\": {},\n",
+                        cell.max_rss_kb);
+    out += util::format("  \"minor_faults\": {},\n",
+                        cell.minor_faults);
     out += cell.ok()
                ? "  \"error\": null,\n"
                : util::format("  \"error\": \"{}\",\n",
@@ -277,6 +287,12 @@ SweepJournal::cellFromJson(const std::string &text)
     cell.wall_seconds = root.numberOr("wall_seconds", 0.0);
     cell.mips = root.numberOr("mips", 0.0);
     cell.timed_out = boolMember(root, "timed_out", false);
+    cell.cpu_user_s = root.numberOr("cpu_user_s", 0.0);
+    cell.cpu_sys_s = root.numberOr("cpu_sys_s", 0.0);
+    cell.max_rss_kb =
+        static_cast<uint64_t>(root.numberOr("max_rss_kb", 0));
+    cell.minor_faults =
+        static_cast<uint64_t>(root.numberOr("minor_faults", 0));
     const auto *err = root.find("error");
     if (err != nullptr && err->isString())
         cell.error = err->string;
@@ -321,6 +337,7 @@ SweepJournal::SweepJournal(std::string dir,
                            const JournalHeader &expect)
     : dir_(std::move(dir)), header_(expect)
 {
+    RLR_PROF_SCOPE("sweep.journal.load");
     std::error_code ec;
     fs::create_directories(dir_, ec);
     if (ec) {
@@ -423,11 +440,41 @@ void
 SweepJournal::append(uint64_t spec_hash, const SweepCell &cell,
                      bool corrupt) const
 {
+    RLR_PROF_SCOPE("sweep.journal.append");
     std::string body = cellToJson(cell);
     if (corrupt)
         body.resize(body.size() / 2);
     util::atomicWriteFile(
         dir_ + "/cell-" + hex16(spec_hash) + ".json", body);
+    // The cell has a durable outcome now; its liveness marker is
+    // no longer meaningful.
+    std::error_code ec;
+    fs::remove(dir_ + "/inflight-" + hex16(spec_hash) + ".json",
+               ec);
+}
+
+void
+SweepJournal::markInFlight(uint64_t spec_hash,
+                           const SweepRunner::CellSpec &spec,
+                           uint32_t attempt) const
+{
+    std::string body = "{\n";
+    body += "  \"record\": \"rlr-sweep-inflight\",\n";
+    body += util::format("  \"workload\": \"{}\",\n",
+                         escape(spec.workload));
+    body += util::format("  \"policy\": \"{}\",\n",
+                         escape(spec.policy));
+    body += util::format("  \"attempt\": {},\n", attempt);
+    body += "  \"eor\": 1\n";
+    body += "}\n";
+    try {
+        util::atomicWriteFile(
+            dir_ + "/inflight-" + hex16(spec_hash) + ".json",
+            body);
+    } catch (const std::exception &e) {
+        util::warn("cannot mark cell {}:{} in flight: {}",
+                   spec.workload, spec.policy, e.what());
+    }
 }
 
 std::string
@@ -450,13 +497,17 @@ SweepJournal::summarize(const std::string &dir)
     }
 
     std::vector<std::string> names;
+    std::vector<std::string> inflight;
     std::error_code ec;
     for (const auto &entry : fs::directory_iterator(dir, ec)) {
         const std::string name = entry.path().filename();
         if (name.rfind("cell-", 0) == 0)
             names.push_back(name);
+        else if (name.rfind("inflight-", 0) == 0)
+            inflight.push_back(name);
     }
     std::sort(names.begin(), names.end());
+    std::sort(inflight.begin(), inflight.end());
     size_t ok = 0, failed = 0, bad = 0;
     for (const auto &name : names) {
         try {
@@ -479,9 +530,39 @@ SweepJournal::summarize(const std::string &dir)
                                 e.what());
         }
     }
+    // In-flight markers left by running (or crashed) attempts:
+    // age comes from the marker's mtime, so a stuck cell is
+    // visible even without a heartbeat file.
+    for (const auto &name : inflight) {
+        const std::string path = dir + "/" + name;
+        double age_s = 0.0;
+        const auto mtime = fs::last_write_time(path, ec);
+        if (!ec) {
+            age_s = std::chrono::duration<double>(
+                        fs::file_time_type::clock::now() - mtime)
+                        .count();
+        }
+        std::string cell = "?";
+        uint32_t attempt = 0;
+        try {
+            const auto v = stats::json::parse(readFile(path));
+            cell = v.stringOr("workload", "?") + ":" +
+                   v.stringOr("policy", "?");
+            attempt = static_cast<uint32_t>(
+                v.numberOr("attempt", 0));
+        } catch (const std::exception &) {
+            // Torn marker: still list it, age alone is useful.
+        }
+        out += util::format(
+            "  {}  {}  IN-FLIGHT  attempt {}  age {:.1f}s\n",
+            name, cell, attempt, age_s);
+    }
     out += util::format(
-        "  {} records: {} ok, {} failed, {} unreadable\n",
+        "  {} records: {} ok, {} failed, {} unreadable",
         names.size(), ok, failed, bad);
+    if (!inflight.empty())
+        out += util::format(", {} in flight", inflight.size());
+    out += "\n";
     return out;
 }
 

@@ -9,6 +9,11 @@
  *                                master seed, config hash, build
  *   <dir>/cell-<hex16>.json      one record per completed cell,
  *                                named by its spec hash
+ *   <dir>/inflight-<hex16>.json  marker for a cell currently
+ *                                running (written at attempt
+ *                                start, removed by append), so
+ *                                `inspect --journal` can show
+ *                                stuck cells and their age
  *
  * Every file is written with util::atomicWriteFile (tmp + fsync +
  * rename), so a crash at any instant leaves either no record or a
@@ -108,6 +113,18 @@ class SweepJournal
      */
     void append(uint64_t spec_hash, const SweepCell &cell,
                 bool corrupt = false) const;
+
+    /**
+     * Drop an in-flight marker for a cell attempt that is about
+     * to run. The marker (named by spec hash, age readable from
+     * its mtime) is removed when append() records the outcome; a
+     * marker that outlives the sweep marks the cell a crash took
+     * down mid-run. Failures only warn — liveness breadcrumbs
+     * must never fail a sweep.
+     */
+    void markInFlight(uint64_t spec_hash,
+                      const SweepRunner::CellSpec &spec,
+                      uint32_t attempt) const;
 
     /** Records loaded from disk at open. */
     size_t loadedRecords() const { return records_.size(); }

@@ -12,6 +12,9 @@
 #include <utility>
 
 #include "obs/chrome_trace.hh"
+#include "obs/heartbeat.hh"
+#include "obs/profiler.hh"
+#include "obs/resource.hh"
 #include "sim/journal.hh"
 #include "stats/export.hh"
 #include "util/atomic_file.hh"
@@ -274,6 +277,14 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
         if (!resumed_mask[i])
             pending.push_back(i);
 
+    // ---- liveness heartbeat -------------------------------------
+    std::unique_ptr<obs::HeartbeatWriter> heartbeat;
+    if (!opts_.heartbeat_path.empty()) {
+        heartbeat = std::make_unique<obs::HeartbeatWriter>(
+            opts_.heartbeat_path, opts_.heartbeat_period_s, n,
+            resumed);
+    }
+
     // ---- watchdog / signal-drain monitor ------------------------
     std::vector<AttemptSlot> slots(n);
     std::atomic<bool> draining{false};
@@ -297,12 +308,12 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
                 if (opts_.handle_signals && sig != 0) {
                     if (!draining.exchange(true)) {
                         g_sweep_interrupted.store(true);
-                        std::fprintf(
-                            stderr,
-                            "\n[sweep] caught signal %d: "
-                            "draining (cancelling in-flight "
-                            "cells, keeping journal + partial "
-                            "JSON)\n",
+                        // Serialized with the progress status
+                        // line by the logging hook's mutex.
+                        util::warn(
+                            "sweep caught signal {}: draining "
+                            "(cancelling in-flight cells, "
+                            "keeping journal + partial JSON)",
                             sig);
                     }
                     // Re-cancel every poll: attempts armed in the
@@ -339,7 +350,6 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
     std::atomic<uint64_t> failed_count{0};
     std::atomic<uint64_t> cancelled_count{0};
     std::atomic<uint64_t> completed_count{0};
-    std::mutex progress_mutex;
 
     auto bump_progress = [&] {
         const size_t n_done = done.fetch_add(1) + 1;
@@ -351,20 +361,22 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
             fresh == 0 ? 0.0
                        : elapsed / static_cast<double>(fresh) *
                              static_cast<double>(n - n_done);
-        std::scoped_lock lock(progress_mutex);
-        std::fprintf(stderr,
-                     "\r[sweep] %zu/%zu cells (%zu resumed), "
-                     "%.1fs elapsed, eta %.1fs   ",
-                     n_done, n, resumed, elapsed, eta);
-        std::fflush(stderr);
+        // Sticky status line: worker log messages erase/repaint
+        // it through the logging mutex instead of interleaving.
+        util::setStatusLine(util::format(
+            "[sweep] {}/{} cells ({} resumed), {:.1f}s elapsed, "
+            "eta {:.1f}s", n_done, n, resumed, elapsed, eta));
     };
 
     auto run_one = [&](size_t i) {
+        RLR_PROF_SCOPE("sweep.cell");
         SweepCell &cell = cells[i];
         const CellSpec &spec = specs[i];
         AttemptSlot &slot = slots[i];
         const FaultAction fault = opts_.faults.actionFor(
             i, spec.workload + ":" + spec.policy, cell.seed);
+        const std::string label =
+            spec.workload + ":" + spec.policy;
 
         // Deterministic crash for the crash/resume harness: die
         // the instant this cell is reached, no flushing.
@@ -380,6 +392,9 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
 
         const auto cell_start = Clock::now();
         cell.start_seconds = secondsSince(sweep_start);
+        const obs::ResourceSample res_start =
+            obs::ResourceSample::now(
+                obs::ResourceSample::Scope::Thread);
 
         const uint32_t max_attempts = 1 + opts_.cell_retries;
         double backoff_prev = opts_.retry_base_s;
@@ -397,6 +412,10 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
                 break;
             }
             slot.token.reset();
+            if (heartbeat)
+                heartbeat->cellStarted(label, attempt);
+            if (journal)
+                journal->markInFlight(hashes[i], spec, attempt);
             if (opts_.cell_timeout_s > 0.0) {
                 slot.deadline_ms.store(
                     nowMillis() +
@@ -456,6 +475,16 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
                             cell.result.total_instructions) /
                         cell.wall_seconds / 1e6;
         }
+        const obs::ResourceSample res_delta =
+            obs::ResourceSample::now(
+                obs::ResourceSample::Scope::Thread)
+                .deltaFrom(res_start);
+        cell.cpu_user_s = res_delta.cpu_user_s;
+        cell.cpu_sys_s = res_delta.cpu_sys_s;
+        cell.max_rss_kb = res_delta.max_rss_kb;
+        cell.minor_faults = res_delta.minor_faults;
+        if (heartbeat)
+            heartbeat->cellFinished(cell.ok());
 
         if (signal_cancelled) {
             // Not a final outcome — the cell re-runs on resume.
@@ -480,9 +509,11 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
     monitor_stop.store(true);
     if (monitor.joinable())
         monitor.join();
+    if (heartbeat)
+        heartbeat->finish();
 
     if (opts_.progress)
-        std::fputc('\n', stderr);
+        util::finishStatusLine();
 
     sweep_stats_.reset();
     sweep_stats_.counter("completed_cells") = completed_count;
@@ -499,6 +530,10 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
             cell.wall_seconds = 0.0;
             cell.mips = 0.0;
             cell.retry_wait_s = 0.0;
+            cell.cpu_user_s = 0.0;
+            cell.cpu_sys_s = 0.0;
+            cell.max_rss_kb = 0;
+            cell.minor_faults = 0;
         }
     }
     if (!opts_.json_path.empty())
@@ -580,6 +615,14 @@ SweepRunner::toJson(const std::vector<SweepCell> &cells)
         out += util::format("\"attempts\": {}, ", c.attempts);
         out += util::format("\"retry_wait_s\": {}, ",
                             number(c.retry_wait_s));
+        out += util::format("\"cpu_user_s\": {}, ",
+                            number(c.cpu_user_s));
+        out += util::format("\"cpu_sys_s\": {}, ",
+                            number(c.cpu_sys_s));
+        out += util::format("\"max_rss_kb\": {}, ",
+                            c.max_rss_kb);
+        out += util::format("\"minor_faults\": {}, ",
+                            c.minor_faults);
         out += c.ok() ? "\"error\": null"
                       : util::format("\"error\": \"{}\"",
                                      escape(c.error));
@@ -589,8 +632,8 @@ SweepRunner::toJson(const std::vector<SweepCell> &cells)
     return out;
 }
 
-std::string
-SweepRunner::chromeTraceJson(const std::vector<SweepCell> &cells)
+std::vector<obs::TraceSpan>
+SweepRunner::cellTraceSpans(const std::vector<SweepCell> &cells)
 {
     std::vector<obs::TraceSpan> spans;
     spans.reserve(cells.size());
@@ -614,6 +657,13 @@ SweepRunner::chromeTraceJson(const std::vector<SweepCell> &cells)
         }
         spans.push_back(std::move(s));
     }
+    return spans;
+}
+
+std::string
+SweepRunner::chromeTraceJson(const std::vector<SweepCell> &cells)
+{
+    std::vector<obs::TraceSpan> spans = cellTraceSpans(cells);
     obs::assignLanes(spans);
     return obs::chromeTraceJson(spans, "sweep");
 }

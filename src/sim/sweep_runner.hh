@@ -58,6 +58,11 @@
 #include "stats/stats.hh"
 #include "util/table.hh"
 
+namespace rlr::obs
+{
+struct TraceSpan;
+} // namespace rlr::obs
+
 namespace rlr::sim
 {
 
@@ -97,6 +102,14 @@ struct SweepOptions
     bool handle_signals = false;
     /** Fault injection plan (tests, crash/resume harness). */
     FaultPlan faults;
+
+    /**
+     * When non-empty, publish a liveness heartbeat file here
+     * (obs/heartbeat.hh; atomic rewrite every heartbeat_period_s)
+     * for `inspect --top` and external monitors.
+     */
+    std::string heartbeat_path;
+    double heartbeat_period_s = 0.5;
 };
 
 /** Fault-isolated parallel (workload x policy) experiment engine. */
@@ -176,6 +189,14 @@ class SweepRunner
      */
     static std::string
     chromeTraceJson(const std::vector<SweepCell> &cells);
+
+    /**
+     * The schedule slices of chromeTraceJson() before lane
+     * packing, so callers can merge in other span sources (the
+     * profiler's timeline) before serializing.
+     */
+    static std::vector<obs::TraceSpan>
+    cellTraceSpans(const std::vector<SweepCell> &cells);
 
     /** Atomically write chromeTraceJson(cells) to @p path. */
     static void writeChromeTrace(const std::string &path,

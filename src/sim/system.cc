@@ -28,6 +28,10 @@ System::System(const SystemConfig &config) : config_(config)
         llc_geom,
         core::makePolicy(config_.llc_policy, config_.policy_seed),
         dram_.get());
+    // Only the LLC carries self-profiler spans: it is where the
+    // replacement-policy work runs, and keeping L1/L2 bare holds
+    // the enabled overhead inside the ctest budget.
+    llc_->setProfiled(true);
     if (config_.capture_llc_trace) {
         llc_->setAccessSink([this](const trace::LlcAccess &a) {
             llc_trace_.append(a);

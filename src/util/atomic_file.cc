@@ -1,5 +1,6 @@
 #include "util/atomic_file.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -52,8 +53,16 @@ syncDir(const std::string &dir)
 void
 atomicWriteFile(const std::string &path, std::string_view data)
 {
-    const std::string tmp =
-        format("{}.tmp.{}", path, static_cast<long>(::getpid()));
+    // The temp name must be unique per *writer*, not just per
+    // process: two threads racing on the same destination (e.g.
+    // journal records for duplicate sweep cells) would otherwise
+    // share one temp file, and whichever renames second finds it
+    // already gone. With distinct temps both renames succeed and
+    // the last writer wins — atomically, which is the contract.
+    static std::atomic<uint64_t> writer_seq{0};
+    const std::string tmp = format(
+        "{}.tmp.{}.{}", path, static_cast<long>(::getpid()),
+        writer_seq.fetch_add(1, std::memory_order_relaxed));
     const int fd = ::open(tmp.c_str(),
                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0)

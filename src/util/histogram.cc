@@ -30,9 +30,13 @@ Histogram::sample(uint64_t value, uint64_t count)
 void
 Histogram::merge(const Histogram &other)
 {
-    ensure(other.buckets_.size() == buckets_.size() &&
-               other.width_ == width_,
-           "Histogram::merge: shape mismatch");
+    if (other.buckets_.size() != buckets_.size() ||
+        other.width_ != width_) {
+        fatal("Histogram::merge: shape mismatch "
+              "({} buckets of width {} vs {} buckets of width {})",
+              buckets_.size(), width_, other.buckets_.size(),
+              other.width_);
+    }
     for (size_t i = 0; i < buckets_.size(); ++i)
         buckets_[i] += other.buckets_[i];
     overflow_ += other.overflow_;

@@ -29,7 +29,7 @@ class Histogram
     /** Record one sample. */
     void sample(uint64_t value, uint64_t count = 1);
 
-    /** Merge another histogram with identical shape. */
+    /** Merge another histogram; `fatal` on shape mismatch. */
     void merge(const Histogram &other);
 
     /** Remove all samples. */

@@ -11,11 +11,33 @@ namespace
 
 std::atomic<bool> quiet{false};
 
+/** Serializes every stderr write (messages and status line), so
+ *  concurrent workers never interleave mid-line. */
+std::mutex io_mutex;
+
+/** The sticky progress line currently on screen ("" = none).
+ *  Guarded by io_mutex. */
+std::string status_line;
+
+void
+eraseStatusLocked()
+{
+    if (!status_line.empty())
+        std::cerr << "\r\033[K";
+}
+
+void
+paintStatusLocked()
+{
+    if (!status_line.empty())
+        std::cerr << status_line << std::flush;
+}
+
 void
 defaultHook(LogLevel level, std::string_view msg)
 {
-    static std::mutex io_mutex;
     std::scoped_lock lock(io_mutex);
+    eraseStatusLocked();
     switch (level) {
       case LogLevel::Info:
         if (!quiet.load(std::memory_order_relaxed))
@@ -32,6 +54,7 @@ defaultHook(LogLevel level, std::string_view msg)
         std::cerr << "panic: " << msg << '\n';
         break;
     }
+    paintStatusLocked();
 }
 
 std::atomic<LogHook> current_hook{&defaultHook};
@@ -60,6 +83,33 @@ bool
 logQuiet()
 {
     return quiet.load(std::memory_order_relaxed);
+}
+
+void
+setStatusLine(std::string line)
+{
+    std::scoped_lock lock(io_mutex);
+    eraseStatusLocked();
+    status_line = std::move(line);
+    paintStatusLocked();
+}
+
+void
+clearStatusLine()
+{
+    std::scoped_lock lock(io_mutex);
+    eraseStatusLocked();
+    status_line.clear();
+}
+
+void
+finishStatusLine()
+{
+    std::scoped_lock lock(io_mutex);
+    if (status_line.empty())
+        return;
+    std::cerr << '\n';
+    status_line.clear();
 }
 
 } // namespace rlr::util

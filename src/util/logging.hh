@@ -43,6 +43,21 @@ void setLogQuiet(bool quiet);
 /** @return true when Info/Warn output is suppressed. */
 bool logQuiet();
 
+/**
+ * Publish/refresh a single sticky stderr status line (the sweep
+ * progress display). The line stays put while log messages flow:
+ * the default hook erases it, prints the message, and repaints it,
+ * so worker output never interleaves mid-line. Serialized with
+ * logMessage by the same mutex.
+ */
+void setStatusLine(std::string line);
+
+/** Erase the status line from the terminal and forget it. */
+void clearStatusLine();
+
+/** Finish the status line: leave it on screen, advance past it. */
+void finishStatusLine();
+
 /** Informational message for normal operation. */
 template <typename... Args>
 void

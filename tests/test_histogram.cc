@@ -68,6 +68,15 @@ TEST(Histogram, MergeAccumulates)
     EXPECT_EQ(a.bucketCount(2), 1u);
 }
 
+TEST(Histogram, MergeShapeMismatchIsFatal)
+{
+    Histogram a(4, 1);
+    Histogram more_buckets(8, 1);
+    Histogram wider(4, 2);
+    EXPECT_DEATH(a.merge(more_buckets), "shape mismatch");
+    EXPECT_DEATH(a.merge(wider), "shape mismatch");
+}
+
 TEST(Histogram, ResetClears)
 {
     Histogram h(4, 1);

@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "sim/journal.hh"
 #include "util/atomic_file.hh"
@@ -110,6 +113,42 @@ TEST(AtomicFile, FailsCleanlyOnBadPath)
     EXPECT_THROW(util::atomicWriteFile(
                      "/nonexistent-dir-xyz/file.txt", "data"),
                  std::runtime_error);
+}
+
+// Regression: concurrent writers to the SAME destination (e.g.
+// journal records for duplicate sweep cells — fig12 prepends LRU,
+// so `--policies LRU,...` schedules the LRU cell twice) used to
+// share one pid-keyed temp file; whichever renamed second found
+// it already stolen and threw ENOENT. Every writer must succeed
+// and the survivor must be one intact payload.
+TEST(AtomicFile, ConcurrentWritersToOnePathAllSucceed)
+{
+    const std::string path =
+        ::testing::TempDir() + "atomic_file_race.txt";
+    constexpr int kWriters = 8;
+    constexpr int kRounds = 50;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            const std::string payload(64, 'a' + w);
+            for (int r = 0; r < kRounds; ++r) {
+                try {
+                    util::atomicWriteFile(path, payload);
+                } catch (const std::exception &) {
+                    ++failures;
+                }
+            }
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    const std::string final = slurp(path);
+    ASSERT_EQ(final.size(), 64u);
+    EXPECT_EQ(final, std::string(64, final[0]));
+    fs::remove(path);
 }
 
 TEST(Journal, HeaderRoundTrip)

@@ -6,6 +6,8 @@
  *   ./build/tools/inspect --from events.json [--out INSPECT.md]
  *   ./build/tools/inspect --check-trace sweep_trace.json
  *   ./build/tools/inspect --journal out/journal/sweep-0
+ *   ./build/tools/inspect --top out/heartbeat.json
+ *   ./build/tools/inspect --profile out/profile.json
  *
  * Any bench binary's --events output works as input; the report
  * covers whatever cells the export contains (eviction-reason
@@ -14,11 +16,20 @@
  * is structurally valid for chrome://tracing / Perfetto.
  * --journal summarizes a sweep journal directory (header
  * identity, per-cell record status — see docs/ROBUSTNESS.md).
+ * --top follows a sweep's --heartbeat file like `top(1)`,
+ * redrawing per-worker status until the sweep reports done.
+ * --profile renders a --profile JSON export as a call tree
+ * (--folded additionally writes flamegraph folded stacks).
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
+#include "obs/heartbeat.hh"
+#include "obs/profiler.hh"
 #include "sim/journal.hh"
 #include "tools/inspect_gen.hh"
 #include "util/args.hh"
@@ -74,8 +85,74 @@ main(int argc, char **argv)
                      "Summarize a sweep journal directory "
                      "(--journal output of any bench binary) "
                      "instead of rendering a report");
+    parser.addOption("top", "",
+                     "Follow a sweep heartbeat file (--heartbeat "
+                     "output of any bench binary) as a live "
+                     "status monitor");
+    parser.addOption("interval", "0.5",
+                     "--top refresh interval in seconds");
+    parser.addFlag("once",
+                   "With --top: render one frame and exit "
+                   "instead of following until done");
+    parser.addOption("profile", "",
+                     "Render a profile JSON export (--profile "
+                     "output of any bench binary) as a call "
+                     "tree");
+    parser.addOption("folded", "",
+                     "With --profile: also write flamegraph "
+                     "folded stacks to this path");
     if (!parser.parse(argc, argv))
         return 0;
+
+    const std::string top = parser.get("top");
+    if (!top.empty()) {
+        const double interval =
+            std::max(0.05, parser.getDouble("interval"));
+        const bool once = parser.getFlag("once");
+        uint64_t last_seq = 0;
+        for (;;) {
+            rlr::obs::Heartbeat hb;
+            try {
+                hb = rlr::obs::heartbeatFromJson(readFile(top));
+            } catch (const std::exception &e) {
+                if (once)
+                    rlr::util::fatal("{}: {}", top, e.what());
+                // The writer may not have produced the first
+                // beat yet, or we raced a replace; retry.
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(interval));
+                continue;
+            }
+            if (hb.sequence != last_seq) {
+                last_seq = hb.sequence;
+                std::fputs(rlr::tools::renderTop(hb).c_str(),
+                           stdout);
+                std::fflush(stdout);
+            }
+            if (once || hb.done)
+                return 0;
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(interval));
+        }
+    }
+
+    const std::string profile = parser.get("profile");
+    if (!profile.empty()) {
+        rlr::obs::ProfileData data;
+        try {
+            data = rlr::obs::profileFromJson(readFile(profile));
+        } catch (const std::exception &e) {
+            rlr::util::fatal("{}: {}", profile, e.what());
+        }
+        std::fputs(rlr::tools::renderProfileTree(data).c_str(),
+                   stdout);
+        const std::string folded = parser.get("folded");
+        if (!folded.empty()) {
+            writeFile(folded, rlr::obs::profileFolded(data));
+            std::fprintf(stderr, "wrote %s\n", folded.c_str());
+        }
+        return 0;
+    }
 
     const std::string journal = parser.get("journal");
     if (!journal.empty()) {

@@ -325,4 +325,136 @@ checkChromeTrace(const std::string &trace_json)
     return events->array.size();
 }
 
+namespace
+{
+
+/** Human-readable nanoseconds ("1.23ms", "450ns"). */
+std::string
+fmtNs(uint64_t ns)
+{
+    if (ns >= 1'000'000'000ULL) {
+        return util::format(
+            "{:.2f}s", static_cast<double>(ns) / 1e9);
+    }
+    if (ns >= 1'000'000ULL) {
+        return util::format(
+            "{:.2f}ms", static_cast<double>(ns) / 1e6);
+    }
+    if (ns >= 1'000ULL) {
+        return util::format(
+            "{:.2f}us", static_cast<double>(ns) / 1e3);
+    }
+    return util::format("{}ns", ns);
+}
+
+std::string
+fmtKb(uint64_t kb)
+{
+    if (kb >= 1024 * 1024) {
+        return util::format(
+            "{:.1f}GB", static_cast<double>(kb) / (1024.0 * 1024.0));
+    }
+    if (kb >= 1024)
+        return util::format("{:.1f}MB",
+                            static_cast<double>(kb) / 1024.0);
+    return util::format("{}KB", kb);
+}
+
+void
+renderProfileNode(std::string &out, const obs::ProfileNode &node,
+                  uint64_t grand_total, int depth)
+{
+    const double pct =
+        grand_total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(node.total_ns) /
+                  static_cast<double>(grand_total);
+    out += util::format(
+        "{}{}  calls {}  total {} ({:.1f}%)  self {}  "
+        "p50 <{}  p99 <{}\n",
+        std::string(static_cast<size_t>(depth) * 2, ' '),
+        node.name, node.calls, fmtNs(node.total_ns), pct,
+        fmtNs(node.self_ns), fmtNs(node.p50_ns),
+        fmtNs(node.p99_ns));
+    std::vector<const obs::ProfileNode *> kids;
+    kids.reserve(node.children.size());
+    for (const auto &c : node.children)
+        kids.push_back(&c);
+    std::stable_sort(kids.begin(), kids.end(),
+                     [](const obs::ProfileNode *a,
+                        const obs::ProfileNode *b) {
+                         return a->total_ns > b->total_ns;
+                     });
+    for (const auto *c : kids)
+        renderProfileNode(out, *c, grand_total, depth + 1);
+}
+
+} // namespace
+
+std::string
+renderTop(const obs::Heartbeat &hb)
+{
+    std::string out = util::format(
+        "sweep heartbeat  seq {}  elapsed {:.1f}s{}\n",
+        hb.sequence, hb.elapsed_s, hb.done ? "  [DONE]" : "");
+    out += util::format(
+        "  cells: {}/{} done ({} resumed), {} failed, "
+        "{} running\n",
+        hb.cells_done + hb.cells_resumed, hb.cells_total,
+        hb.cells_resumed, hb.cells_failed, hb.cells_running);
+    out += util::format(
+        "  throughput {:.2f} cells/s  eta {:.1f}s  rss {} "
+        "(peak {})\n",
+        hb.throughput, hb.eta_s, fmtKb(hb.rss_kb),
+        fmtKb(hb.max_rss_kb));
+
+    if (hb.workers.empty()) {
+        out += hb.done ? "  workers: (all finished)\n"
+                       : "  workers: (idle)\n";
+        return out;
+    }
+
+    // Straggler cut: a worker whose current cell has been running
+    // much longer than its busy peers (or 5s when all are young).
+    std::vector<double> ages;
+    ages.reserve(hb.workers.size());
+    for (const auto &w : hb.workers)
+        ages.push_back(w.age_s);
+    std::sort(ages.begin(), ages.end());
+    const double median = ages[ages.size() / 2];
+    const double straggler_cut = std::max(5.0, 3.0 * median);
+
+    out += "  workers:\n";
+    for (const auto &w : hb.workers) {
+        out += util::format(
+            "    w{:<3} {:<28} attempt {}  {:>7.1f}s{}\n",
+            w.worker, w.cell, w.attempt, w.age_s,
+            w.age_s > straggler_cut ? "  << STRAGGLER" : "");
+    }
+    return out;
+}
+
+std::string
+renderProfileTree(const obs::ProfileData &data)
+{
+    std::string out = util::format(
+        "profile  threads {}  spans {}  sites {}\n",
+        data.threads, data.spans, data.sites);
+    std::vector<const obs::ProfileNode *> roots;
+    roots.reserve(data.roots.size());
+    uint64_t grand_total = 0;
+    for (const auto &r : data.roots) {
+        roots.push_back(&r);
+        grand_total += r.total_ns;
+    }
+    std::stable_sort(roots.begin(), roots.end(),
+                     [](const obs::ProfileNode *a,
+                        const obs::ProfileNode *b) {
+                         return a->total_ns > b->total_ns;
+                     });
+    for (const auto *r : roots)
+        renderProfileNode(out, *r, grand_total, 1);
+    return out;
+}
+
 } // namespace rlr::tools

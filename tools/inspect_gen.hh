@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "obs/events_io.hh"
+#include "obs/heartbeat.hh"
+#include "obs/profiler.hh"
 #include "trace/record.hh"
 
 namespace rlr::tools
@@ -88,6 +90,22 @@ generateInspect(const std::vector<obs::CellEvents> &cells,
  * @throws std::runtime_error describing the first violation
  */
 size_t checkChromeTrace(const std::string &trace_json);
+
+/**
+ * Render one `inspect --top` frame from a parsed heartbeat:
+ * sweep totals (done/running/failed, throughput, ETA, RSS) plus
+ * one line per busy worker. Workers whose current cell has run
+ * longer than max(5s, 3x the median busy-worker age) are flagged
+ * as stragglers.
+ */
+std::string renderTop(const obs::Heartbeat &hb);
+
+/**
+ * Render a profile export (obs::profileToJson) as an indented
+ * call tree with per-node calls, total/self time, and
+ * percentiles, heaviest subtree first.
+ */
+std::string renderProfileTree(const obs::ProfileData &data);
 
 } // namespace rlr::tools
 
