@@ -135,7 +135,8 @@ done
 # authoritative list is faultKindName() in fault_plan.cc), the
 # sweep.* counters, and the crash-resume harness must all appear
 # in docs/ROBUSTNESS.md.
-for f in journal cell-timeout cell-retries faults; do
+for f in journal cell-timeout cell-retries faults \
+         workers join worker-id lease-ttl; do
     grep -q -- "--$f" docs/ROBUSTNESS.md ||
         err "robustness flag '--$f' is not documented in" \
             "docs/ROBUSTNESS.md"
@@ -152,14 +153,16 @@ for k in $fault_kinds; do
             "docs/ROBUSTNESS.md"
 done
 for c in completed_cells resumed_cells retries timeouts \
-         failed_cells cancelled_cells; do
+         failed_cells cancelled_cells merged_cells \
+         lease_steals fenced_commits reaped_markers; do
     grep -q "sweep.$c" docs/ROBUSTNESS.md ||
         err "counter 'sweep.$c' is not documented in" \
             "docs/ROBUSTNESS.md"
 done
-grep -q "scripts/crash_resume_e2e.sh" docs/ROBUSTNESS.md ||
-    err "'scripts/crash_resume_e2e.sh' is not referenced in" \
-        "docs/ROBUSTNESS.md"
+for s in scripts/crash_resume_e2e.sh scripts/dist_sweep_e2e.sh; do
+    grep -q "$s" docs/ROBUSTNESS.md ||
+        err "'$s' is not referenced in docs/ROBUSTNESS.md"
+done
 
 # --- 9. the perf trajectory is documented ---------------------------
 # Every bench/sim_throughput CLI flag must appear in

@@ -3,9 +3,11 @@
 # the same test suite rebuilt with AddressSanitizer + UBSan
 # (-DRLR_SANITIZE=address,undefined, recovery disabled so any
 # report is fatal). Each stage additionally runs the crash-resume
-# harness (scripts/crash_resume_e2e.sh) standalone against its own
-# binaries, so the kill-and-resume guarantee is proven both in
-# Release and under the sanitizers. All stages must pass.
+# harness (scripts/crash_resume_e2e.sh) and the distributed-sweep
+# harness (scripts/dist_sweep_e2e.sh) standalone against its own
+# binaries, so the kill-and-resume and lease-merge guarantees are
+# proven both in Release and under the sanitizers. All stages
+# must pass.
 #
 # The release stage additionally runs the LLC hot-path throughput
 # benchmark (bench/sim_throughput) and exports its per-policy
@@ -50,6 +52,14 @@ run_crash_resume() {
         --inspect-bin="$dir/tools/inspect"
 }
 
+run_dist_sweep() {
+    local label="$1" dir="$2"
+    echo "=== ci: dist-sweep $label ==="
+    scripts/dist_sweep_e2e.sh \
+        --fig12-bin="$dir/bench/fig12_mpki" \
+        --inspect-bin="$dir/tools/inspect"
+}
+
 run_sim_throughput() {
     local dir="$1"
     echo "=== ci: sim_throughput (perf trajectory) ==="
@@ -80,6 +90,7 @@ run_profile_artifact() {
 
 run_stage "release" build -DCMAKE_BUILD_TYPE=Release
 run_crash_resume "release" build
+run_dist_sweep "release" build
 run_sim_throughput build
 run_profile_artifact build
 
@@ -94,5 +105,8 @@ run_stage "asan+ubsan" build-san \
 ASAN_OPTIONS="detect_leaks=0" \
 UBSAN_OPTIONS="print_stacktrace=1" \
 run_crash_resume "asan+ubsan" build-san
+ASAN_OPTIONS="detect_leaks=0" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+run_dist_sweep "asan+ubsan" build-san
 
 echo "=== ci: all stages passed ==="

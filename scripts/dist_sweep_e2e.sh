@@ -1,0 +1,179 @@
+#!/usr/bin/env bash
+# Distributed-sweep equivalence check (wired into ctest as
+# `dist_sweep_e2e` and run by both scripts/ci.sh stages).
+#
+# Proves the lease protocol's kill-tolerant merge end to end on a
+# real bench binary (docs/ROBUSTNESS.md, "Distributed sweeps"):
+#
+#   1. reference : uninterrupted single-process sweep with
+#                  --stable-json
+#   2. clean     : the same sweep with --workers 2 — two worker
+#                  processes claim cells through journal leases,
+#                  the supervisor merges, and the export must be
+#                  BYTE-IDENTICAL to the reference
+#   3. carnage   : 4 workers with `kill-worker%0.4` (workers
+#                  SIGKILL themselves on first claim of selected
+#                  cells) PLUS an external `kill -9` of whichever
+#                  worker the harness catches alive — expired
+#                  leases are stolen, dead workers' cells re-run,
+#                  exit 0, export still byte-identical
+#   4. straggler : 2 workers with `stall-worker@0` — a worker
+#                  stops renewing and sleeps past the TTL, its
+#                  cell is re-issued, and the straggler's late
+#                  commit is fenced off (sweep.fenced_commits)
+#
+# Usage: scripts/dist_sweep_e2e.sh [--fig12-bin=PATH]
+#            [--inspect-bin=PATH]
+
+set -eu
+
+cd "$(dirname "$0")/.." || exit 1
+
+fig12_bin="build/bench/fig12_mpki"
+inspect_bin="build/tools/inspect"
+for arg in "$@"; do
+    case "$arg" in
+        --fig12-bin=*) fig12_bin="${arg#--fig12-bin=}" ;;
+        --inspect-bin=*) inspect_bin="${arg#--inspect-bin=}" ;;
+        *)
+            echo "dist_sweep_e2e: unknown argument '$arg'" >&2
+            echo "usage: $0 [--fig12-bin=PATH]" \
+                 "[--inspect-bin=PATH]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+for bin in "$fig12_bin" "$inspect_bin"; do
+    [ -x "$bin" ] || {
+        echo "dist_sweep_e2e: binary '$bin' not found; build" \
+             "first (cmake --build build) or pass --fig12-bin= /" \
+             "--inspect-bin=" >&2
+        exit 2
+    }
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# The same deterministic 4-cell grid as crash_resume_e2e (fig12
+# prepends LRU): small enough to finish in seconds, and
+# --stable-json zeroes the wall-clock fields so any two complete
+# runs export identical bytes regardless of who executed which
+# cell.
+common="--workloads 429.mcf,470.lbm --policies RLR \
+        --warmup 20000 --instructions 30000 --seed 42 \
+        --stable-json"
+
+echo "dist_sweep_e2e: [1/4] single-process reference run" >&2
+"$fig12_bin" $common --threads 2 --json "$tmp/ref.json" \
+    >/dev/null
+
+echo "dist_sweep_e2e: [2/4] clean 2-worker distributed run" >&2
+"$fig12_bin" $common --threads 2 --workers 2 \
+    --journal "$tmp/clean" --json "$tmp/clean.json" \
+    >"$tmp/clean.out" 2>&1
+if ! cmp -s "$tmp/ref.json" "$tmp/clean.json"; then
+    echo "dist_sweep_e2e: 2-worker merged export differs from" \
+         "the single-process run's:" >&2
+    diff -u "$tmp/ref.json" "$tmp/clean.json" >&2 || true
+    exit 1
+fi
+[ -f "$tmp/clean/workers.json" ] || {
+    echo "dist_sweep_e2e: supervisor did not publish" \
+         "workers.json" >&2
+    exit 1
+}
+# The merge pass resumes every worker-committed cell.
+grep -q "sweep.resumed_cells 4" "$tmp/clean.out" || {
+    echo "dist_sweep_e2e: merge pass did not resume all 4" \
+         "worker-committed cells" >&2
+    cat "$tmp/clean.out" >&2
+    exit 1
+}
+
+echo "dist_sweep_e2e: [3/4] 4 workers, kill-worker faults +" \
+     "external SIGKILL" >&2
+rc=0
+"$fig12_bin" $common --threads 2 --workers 4 --lease-ttl 1 \
+    --faults 'kill-worker%0.4' --journal "$tmp/kill" \
+    --json "$tmp/kill.json" >"$tmp/kill.out" 2>&1 &
+supervisor=$!
+# As soon as the supervisor publishes the worker pids, SIGKILL
+# whichever worker we catch alive — a kill the fault plan never
+# sanctioned, exactly what a preempted node looks like.
+external_killed=0
+for _ in $(seq 1 100); do
+    if [ -f "$tmp/kill/workers.json" ]; then
+        for pid in $(grep -o '"pid": [0-9]*' \
+                         "$tmp/kill/workers.json" |
+                     grep -o '[0-9]*'); do
+            if kill -9 "$pid" 2>/dev/null; then
+                external_killed=1
+                break
+            fi
+        done
+        break
+    fi
+    sleep 0.1
+done
+wait "$supervisor" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "dist_sweep_e2e: expected the faulted distributed sweep" \
+         "to converge with exit 0, got $rc" >&2
+    cat "$tmp/kill.out" >&2
+    exit 1
+fi
+if [ "$external_killed" -ne 1 ]; then
+    echo "dist_sweep_e2e: never caught a worker alive to SIGKILL" \
+         "externally" >&2
+    cat "$tmp/kill.out" >&2
+    exit 1
+fi
+if ! cmp -s "$tmp/ref.json" "$tmp/kill.json"; then
+    echo "dist_sweep_e2e: kill-tolerant merged export differs" \
+         "from the single-process run's:" >&2
+    diff -u "$tmp/ref.json" "$tmp/kill.json" >&2 || true
+    exit 1
+fi
+grep -q "killed by signal 9" "$tmp/kill.out" || {
+    echo "dist_sweep_e2e: supervisor did not report any" \
+         "SIGKILLed worker" >&2
+    cat "$tmp/kill.out" >&2
+    exit 1
+}
+grep -Eq "sweep.lease_steals [1-9]" "$tmp/kill.out" || {
+    echo "dist_sweep_e2e: no expired lease was stolen — the" \
+         "killed workers' cells were never re-issued?" >&2
+    cat "$tmp/kill.out" >&2
+    exit 1
+}
+# The journal covers the whole sweep and summarizes cleanly.
+"$inspect_bin" --journal "$tmp/kill/sweep-0" >"$tmp/summary.out"
+grep -q "4 records: 4 ok, 0 failed, 0 unreadable" \
+    "$tmp/summary.out" || {
+    echo "dist_sweep_e2e: unexpected journal summary:" >&2
+    cat "$tmp/summary.out" >&2
+    exit 1
+}
+
+echo "dist_sweep_e2e: [4/4] straggler commit is fenced off" >&2
+"$fig12_bin" $common --threads 2 --workers 2 --lease-ttl 1 \
+    --faults stall-worker@0 --journal "$tmp/stall" \
+    --json "$tmp/stall.json" >"$tmp/stall.out" 2>&1
+if ! cmp -s "$tmp/ref.json" "$tmp/stall.json"; then
+    echo "dist_sweep_e2e: post-stall merged export differs from" \
+         "the single-process run's:" >&2
+    diff -u "$tmp/ref.json" "$tmp/stall.json" >&2 || true
+    exit 1
+fi
+grep -Eq "sweep.fenced_commits [1-9]" "$tmp/stall.out" || {
+    echo "dist_sweep_e2e: the stalled worker's late commit was" \
+         "not fenced" >&2
+    cat "$tmp/stall.out" >&2
+    exit 1
+}
+
+echo "dist_sweep_e2e: OK (2-worker, kill-faulted 4-worker with" \
+     "external SIGKILL, and fenced-straggler merges all" \
+     "byte-identical to the single-process export)"

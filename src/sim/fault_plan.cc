@@ -35,9 +35,14 @@ parseKind(const std::string &word)
         return FaultKind::AbortProcess;
     if (word == "corrupt-journal")
         return FaultKind::CorruptJournal;
+    if (word == "kill-worker")
+        return FaultKind::KillWorker;
+    if (word == "stall-worker")
+        return FaultKind::StallWorker;
     throw std::runtime_error(util::format(
         "--faults: unknown fault kind '{}' (expected throw, "
-        "transient, hang, abort, or corrupt-journal)",
+        "transient, hang, abort, corrupt-journal, kill-worker, "
+        "or stall-worker)",
         word));
 }
 
@@ -59,6 +64,10 @@ faultKindName(FaultKind kind)
         return "abort";
       case FaultKind::CorruptJournal:
         return "corrupt-journal";
+      case FaultKind::KillWorker:
+        return "kill-worker";
+      case FaultKind::StallWorker:
+        return "stall-worker";
     }
     return "?";
 }
@@ -164,6 +173,20 @@ FaultPlan::actionFor(size_t index, const std::string &label,
             return FaultAction{e.kind, e.fail_attempts};
     }
     return FaultAction{};
+}
+
+FaultPlan
+FaultPlan::withoutProcessFatal() const
+{
+    FaultPlan out;
+    for (const auto &e : entries_) {
+        if (e.kind == FaultKind::AbortProcess ||
+            e.kind == FaultKind::KillWorker) {
+            continue;
+        }
+        out.entries_.push_back(e);
+    }
+    return out;
 }
 
 } // namespace rlr::sim

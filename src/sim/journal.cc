@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "obs/profiler.hh"
+#include "sim/lease.hh"
 #include "stats/export.hh"
 #include "util/atomic_file.hh"
 #include "util/format.hh"
@@ -153,12 +154,15 @@ SweepJournal::headerToJson(const JournalHeader &header)
     std::string out = "{\n";
     out += "  \"format\": \"rlr-sweep-journal\",\n";
     out += util::format("  \"version\": {},\n", header.version);
+    out += util::format("  \"schema\": {},\n", header.schema);
     out += util::format("  \"master_seed\": \"{}\",\n",
                         header.master_seed);
     out += util::format("  \"config_hash\": \"{}\",\n",
                         hex16(header.config_hash));
     out += util::format("  \"build\": \"{}\",\n",
                         escape(header.build));
+    out += util::format("  \"writer\": \"{}\",\n",
+                        escape(header.writer));
     out += util::format("  \"n_cells\": {}\n", header.n_cells);
     out += "}\n";
     return out;
@@ -177,6 +181,8 @@ SweepJournal::headerFromJson(const std::string &text)
     JournalHeader h;
     h.version =
         static_cast<uint32_t>(root.numberOr("version", 0));
+    // Headers predating the schema member are schema 1.
+    h.schema = static_cast<uint32_t>(root.numberOr("schema", 1));
     h.master_seed = u64Member(root, "master_seed");
     const auto *hash = root.find("config_hash");
     if (hash == nullptr || !hash->isString()) {
@@ -186,6 +192,7 @@ SweepJournal::headerFromJson(const std::string &text)
     h.config_hash =
         std::strtoull(hash->string.c_str(), nullptr, 16);
     h.build = root.stringOr("build", "");
+    h.writer = root.stringOr("writer", "");
     h.n_cells =
         static_cast<uint64_t>(root.numberOr("n_cells", 0));
     return h;
@@ -363,6 +370,15 @@ SweepJournal::SweepJournal(std::string dir,
                 "start over",
                 dir_, found.version, expect.version));
         }
+        if (found.schema != expect.schema) {
+            throw std::runtime_error(util::format(
+                "journal '{}' uses record schema {} but this "
+                "build writes schema {} — refusing to resume "
+                "across schema versions (cells would silently "
+                "re-run); finish the sweep with the original "
+                "build or delete the directory to start over",
+                dir_, found.schema, expect.schema));
+        }
         if (found.master_seed != expect.master_seed) {
             throw std::runtime_error(util::format(
                 "journal '{}' was recorded with master seed {}, "
@@ -436,6 +452,36 @@ SweepJournal::load(uint64_t spec_hash,
     return true;
 }
 
+bool
+SweepJournal::reload(uint64_t spec_hash,
+                     const SweepRunner::CellSpec &spec,
+                     uint64_t seed, SweepCell &out) const
+{
+    const std::string path =
+        dir_ + "/cell-" + hex16(spec_hash) + ".json";
+    if (!fs::exists(path))
+        return false;
+    SweepCell rec;
+    try {
+        rec = cellFromJson(readFile(path));
+    } catch (const std::exception &) {
+        // Torn or still-racing record: report absent, the caller
+        // polls again.
+        return false;
+    }
+    if (rec.workload != spec.workload ||
+        rec.policy != spec.policy || rec.seed != seed) {
+        util::warn(
+            "journal record {} in '{}' claims cell {}:{} seed {} "
+            "but the sweep expects {}:{} seed {} — ignoring",
+            hex16(spec_hash), dir_, rec.workload, rec.policy,
+            rec.seed, spec.workload, spec.policy, seed);
+        return false;
+    }
+    out = rec;
+    return true;
+}
+
 void
 SweepJournal::append(uint64_t spec_hash, const SweepCell &cell,
                      bool corrupt) const
@@ -477,6 +523,42 @@ SweepJournal::markInFlight(uint64_t spec_hash,
     }
 }
 
+size_t
+SweepJournal::reapStaleMarkers(double ttl_s) const
+{
+    size_t reaped = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename();
+        if (name.rfind("inflight-", 0) != 0 ||
+            name.size() != 9 + 16 + 5 ||
+            name.substr(25) != ".json") {
+            continue;
+        }
+        const uint64_t hash = std::strtoull(
+            name.substr(9, 16).c_str(), nullptr, 16);
+        bool stale = records_.count(hash) > 0;
+        if (!stale) {
+            std::error_code mec;
+            const auto mtime =
+                fs::last_write_time(entry.path(), mec);
+            if (!mec) {
+                const double age =
+                    std::chrono::duration<double>(
+                        fs::file_time_type::clock::now() - mtime)
+                        .count();
+                stale = age > ttl_s;
+            }
+        }
+        if (!stale)
+            continue;
+        std::error_code rec;
+        if (fs::remove(entry.path(), rec) && !rec)
+            ++reaped;
+    }
+    return reaped;
+}
+
 std::string
 SweepJournal::summarize(const std::string &dir)
 {
@@ -486,10 +568,12 @@ SweepJournal::summarize(const std::string &dir)
         const JournalHeader h =
             headerFromJson(readFile(header_path));
         out += util::format(
-            "journal {}\n  version {}  master seed {}  config "
-            "{}  build '{}'  cells {}\n",
-            dir, h.version, h.master_seed, hex16(h.config_hash),
-            h.build, h.n_cells);
+            "journal {}\n  version {}  schema {}  master seed "
+            "{}  config {}  build '{}'  cells {}\n",
+            dir, h.version, h.schema, h.master_seed,
+            hex16(h.config_hash), h.build, h.n_cells);
+        if (!h.writer.empty())
+            out += util::format("  writer {}\n", h.writer);
     } catch (const std::exception &e) {
         out += util::format("journal {}\n  unreadable header: "
                             "{}\n",
@@ -498,6 +582,7 @@ SweepJournal::summarize(const std::string &dir)
 
     std::vector<std::string> names;
     std::vector<std::string> inflight;
+    std::vector<std::string> leases;
     std::error_code ec;
     for (const auto &entry : fs::directory_iterator(dir, ec)) {
         const std::string name = entry.path().filename();
@@ -505,9 +590,15 @@ SweepJournal::summarize(const std::string &dir)
             names.push_back(name);
         else if (name.rfind("inflight-", 0) == 0)
             inflight.push_back(name);
+        else if (name.rfind("lease-", 0) == 0 &&
+                 name.size() > 5 && name.substr(name.size() - 5)
+                 == ".json") {
+            leases.push_back(name);
+        }
     }
     std::sort(names.begin(), names.end());
     std::sort(inflight.begin(), inflight.end());
+    std::sort(leases.begin(), leases.end());
     size_t ok = 0, failed = 0, bad = 0;
     for (const auto &name : names) {
         try {
@@ -557,11 +648,38 @@ SweepJournal::summarize(const std::string &dir)
             "  {}  {}  IN-FLIGHT  attempt {}  age {:.1f}s\n",
             name, cell, attempt, age_s);
     }
+    // Lease files: who holds which cell right now, and whether
+    // the lease is still live (age under its TTL) or expired and
+    // waiting to be stolen.
+    size_t expired = 0;
+    for (const auto &name : leases) {
+        const std::string path = dir + "/" + name;
+        LeaseInfo info;
+        if (!Lease::read(path, info)) {
+            out += util::format("  {}  LEASE  unreadable\n",
+                                name);
+            continue;
+        }
+        const bool live =
+            info.ttl_s <= 0.0 || info.age_s < info.ttl_s;
+        if (!live)
+            ++expired;
+        out += util::format(
+            "  {}  LEASE  worker {}  pid {}  attempt {}  fence "
+            "{}  age {:.1f}s/{:.1f}s{}\n",
+            name, info.worker, info.pid, info.attempt,
+            info.fence, info.age_s, info.ttl_s,
+            live ? "" : "  EXPIRED");
+    }
     out += util::format(
         "  {} records: {} ok, {} failed, {} unreadable",
         names.size(), ok, failed, bad);
     if (!inflight.empty())
         out += util::format(", {} in flight", inflight.size());
+    if (!leases.empty()) {
+        out += util::format(", {} leased ({} expired)",
+                            leases.size(), expired);
+    }
     out += "\n";
     return out;
 }

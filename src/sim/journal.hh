@@ -52,15 +52,32 @@ namespace rlr::sim
 /** Journal format version (bump on incompatible layout change). */
 constexpr uint32_t kJournalVersion = 1;
 
+/**
+ * Journal SCHEMA version: the layout of the record documents
+ * themselves (header members, cell members, lease/fence files).
+ * Headers written before the schema member existed parse as
+ * schema 1. Resume across schema versions is a hard error — a
+ * silent mismatch would re-run (and re-bill) every cell.
+ *
+ * History: 1 = PR 5 layout; 2 = distributed sweeps (writer
+ * identity in the header, lease-/fence- files in the directory).
+ */
+constexpr uint32_t kJournalSchema = 2;
+
 /** Identity of the sweep a journal belongs to. */
 struct JournalHeader
 {
     uint32_t version = kJournalVersion;
+    /** Record-document schema (kJournalSchema; missing = 1). */
+    uint32_t schema = kJournalSchema;
     uint64_t master_seed = 0;
     /** sweepConfigHash() of the SimParams + full spec list. */
     uint64_t config_hash = 0;
     /** Toolchain/build id (git describe); mismatch only warns. */
     std::string build;
+    /** Identity of the process that created the journal, e.g.
+     *  "rlr_bench pid 1234" — informational, never verified. */
+    std::string writer;
     /** Cells in the sweep (redundant with config_hash; makes
      *  "different sweep" errors self-explanatory). */
     uint64_t n_cells = 0;
@@ -105,6 +122,17 @@ class SweepJournal
               uint64_t seed, SweepCell &out) const;
 
     /**
+     * Like load(), but re-reads the record from DISK instead of
+     * the in-memory snapshot taken at open. Distributed sweeps
+     * use this to merge cells that other workers committed after
+     * this process opened the journal. @return true when a
+     * readable, matching record exists.
+     */
+    bool reload(uint64_t spec_hash,
+                const SweepRunner::CellSpec &spec, uint64_t seed,
+                SweepCell &out) const;
+
+    /**
      * Durably record a completed cell (atomic write + fsync).
      * Thread-safe for distinct cells — each spec hash names its
      * own file. With @p corrupt the record is deliberately
@@ -125,6 +153,15 @@ class SweepJournal
     void markInFlight(uint64_t spec_hash,
                       const SweepRunner::CellSpec &spec,
                       uint32_t attempt) const;
+
+    /**
+     * Remove in-flight markers whose mtime is older than
+     * @p ttl_s — breadcrumbs of attempts a crashed worker never
+     * finished. Markers for cells that already have a record are
+     * reaped regardless of age. @return markers removed (counted
+     * in `sweep.reaped_markers`).
+     */
+    size_t reapStaleMarkers(double ttl_s) const;
 
     /** Records loaded from disk at open. */
     size_t loadedRecords() const { return records_.size(); }

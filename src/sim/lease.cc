@@ -1,0 +1,268 @@
+#include "sim/lease.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "stats/export.hh"
+#include "util/atomic_file.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace rlr::sim
+{
+
+namespace
+{
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char buf[1024];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    return !bad;
+}
+
+/** Write @p data to @p path (create/truncate) with an fsync. */
+bool
+writePlainFile(const std::string &path, const std::string &data)
+{
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::write(fd, data.data() + off,
+                                  data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    ::fsync(fd);
+    return ::close(fd) == 0;
+}
+
+std::string
+leaseToJson(uint32_t worker, int64_t pid, uint32_t attempt,
+            uint64_t fence, double ttl_s)
+{
+    std::string out = "{\n";
+    out += "  \"record\": \"rlr-sweep-lease\",\n";
+    out += util::format("  \"worker\": {},\n", worker);
+    out += util::format("  \"pid\": {},\n", pid);
+    out += util::format("  \"attempt\": {},\n", attempt);
+    // Decimal string, like every u64 in the journal (the JSON
+    // reader parses numbers via double).
+    out += util::format("  \"fence\": \"{}\",\n", fence);
+    out += util::format("  \"ttl_s\": {},\n",
+                        stats::json::number(ttl_s));
+    out += "  \"eor\": 1\n";
+    out += "}\n";
+    return out;
+}
+
+double
+fileAgeSeconds(const std::string &path)
+{
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(path, ec);
+    if (ec)
+        return 0.0;
+    return std::chrono::duration<double>(
+               fs::file_time_type::clock::now() - mtime)
+        .count();
+}
+
+} // namespace
+
+Lease::Lease(std::string dir, uint32_t worker_id, double ttl_s)
+    : dir_(std::move(dir)), worker_(worker_id),
+      ttl_s_(ttl_s > 0.1 ? ttl_s : 0.1)
+{
+}
+
+std::string
+Lease::leasePath(const std::string &dir, uint64_t spec_hash)
+{
+    return dir + "/lease-" + hex16(spec_hash) + ".json";
+}
+
+bool
+Lease::read(const std::string &path, LeaseInfo &out)
+{
+    std::string text;
+    if (!readWholeFile(path, text))
+        return false;
+    try {
+        const auto root = stats::json::parse(text);
+        if (!root.isObject() ||
+            root.stringOr("record", "") != "rlr-sweep-lease" ||
+            root.find("eor") == nullptr) {
+            return false;
+        }
+        out.worker =
+            static_cast<uint32_t>(root.numberOr("worker", 0));
+        out.pid = static_cast<int64_t>(root.numberOr("pid", 0));
+        out.attempt =
+            static_cast<uint32_t>(root.numberOr("attempt", 0));
+        out.fence = std::strtoull(
+            root.stringOr("fence", "0").c_str(), nullptr, 10);
+        out.ttl_s = root.numberOr("ttl_s", 0.0);
+    } catch (const std::exception &) {
+        return false;
+    }
+    out.age_s = fileAgeSeconds(path);
+    return true;
+}
+
+Lease::Claim
+Lease::tryClaim(uint64_t spec_hash, uint32_t attempt,
+                double steal_after_s)
+{
+    const std::string path = leasePath(dir_, spec_hash);
+    const std::string fence_path =
+        dir_ + "/fence-" + hex16(spec_hash);
+
+    // Highest token ever issued for this cell: the fence file is
+    // updated by every winner right after its claim, so it is
+    // current by the time that winner's lease can be released or
+    // stolen.
+    uint64_t high = 0;
+    {
+        std::string text;
+        if (readWholeFile(fence_path, text))
+            high = std::strtoull(text.c_str(), nullptr, 10);
+    }
+
+    bool stole = false;
+    if (fs::exists(path)) {
+        LeaseInfo info;
+        const bool readable = read(path, info);
+        const double age =
+            readable ? info.age_s : fileAgeSeconds(path);
+        if (age < std::max(steal_after_s, 0.1))
+            return Claim{}; // held by a live worker
+        // Expired: exactly one stealer wins the rename; the
+        // losers see the source vanish and fall through to a
+        // fresh-claim race.
+        const std::string tomb = util::format(
+            "{}.steal.{}.{}.{}", path,
+            static_cast<long>(::getpid()), worker_,
+            seq_.fetch_add(1, std::memory_order_relaxed));
+        if (::rename(path.c_str(), tomb.c_str()) == 0) {
+            // A winner that crashed between link and fence-file
+            // update leaves its token only in the lease itself.
+            LeaseInfo dead;
+            if (read(tomb, dead))
+                high = std::max(high, dead.fence);
+            ::unlink(tomb.c_str());
+            stole = true;
+        }
+    }
+
+    const uint64_t token = high + 1;
+    // The worker id keeps temp/tomb names distinct even between
+    // Lease instances sharing one process (tests, a future
+    // in-process multi-worker mode) — a collision would let one
+    // claimant link(2) a file the other is still writing.
+    const std::string tmp = util::format(
+        "{}.tmp.{}.{}.{}", path, static_cast<long>(::getpid()),
+        worker_, seq_.fetch_add(1, std::memory_order_relaxed));
+    if (!writePlainFile(tmp, leaseToJson(worker_,
+                                         ::getpid(), attempt,
+                                         token, ttl_s_))) {
+        util::warn("cannot write lease temp '{}': {}", tmp,
+                   std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return Claim{};
+    }
+    // The exclusive-claim primitive: link(2) is atomic and fails
+    // with EEXIST when someone else claimed between our checks.
+    if (::link(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return Claim{};
+    }
+    ::unlink(tmp.c_str());
+    // Persist the high-water mark before this lease can ever be
+    // released: later claimants must start above our token. The
+    // fence tag keeps temp names distinct across fencing rounds
+    // even under pid reuse.
+    try {
+        util::atomicWriteFile(fence_path,
+                              util::format("{}\n", token),
+                              util::format("f{}", token));
+    } catch (const std::exception &e) {
+        util::warn("cannot persist fence for cell {}: {}",
+                   hex16(spec_hash), e.what());
+    }
+    return Claim{true, token, stole};
+}
+
+void
+Lease::renew(uint64_t spec_hash, uint32_t attempt,
+             uint64_t fence) const
+{
+    // We own the lease; an atomic replace refreshes the mtime
+    // without ever exposing a missing or torn file.
+    try {
+        util::atomicWriteFile(
+            leasePath(dir_, spec_hash),
+            leaseToJson(worker_, ::getpid(), attempt, fence,
+                        ttl_s_),
+            util::format("w{}.f{}", worker_, fence));
+    } catch (const std::exception &e) {
+        util::warn("cannot renew lease for cell {}: {}",
+                   hex16(spec_hash), e.what());
+    }
+}
+
+bool
+Lease::stillHeld(uint64_t spec_hash, uint64_t fence) const
+{
+    LeaseInfo info;
+    if (!read(leasePath(dir_, spec_hash), info))
+        return false;
+    return info.worker == worker_ &&
+           info.pid == static_cast<int64_t>(::getpid()) &&
+           info.fence == fence;
+}
+
+void
+Lease::release(uint64_t spec_hash, uint64_t fence) const
+{
+    if (!stillHeld(spec_hash, fence))
+        return; // stolen — the thief's lease is not ours to drop
+    ::unlink(leasePath(dir_, spec_hash).c_str());
+}
+
+} // namespace rlr::sim

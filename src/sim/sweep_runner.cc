@@ -11,6 +11,8 @@
 #include <thread>
 #include <utility>
 
+#include <unistd.h>
+
 #include "obs/chrome_trace.hh"
 #include "obs/heartbeat.hh"
 #include "obs/profiler.hh"
@@ -132,6 +134,16 @@ struct AttemptSlot
     util::CancelToken token;
     /** Deadline in steady-clock millis; -1 = no attempt armed. */
     std::atomic<int64_t> deadline_ms{-1};
+
+    // Distributed sweeps: the lease this slot's worker thread
+    // currently holds. fence 0 = none; the monitor thread renews
+    // held leases every TTL/3 unless `stalled` (the stall-worker
+    // fault deliberately lets the lease expire).
+    std::atomic<uint64_t> lease_fence{0};
+    std::atomic<uint32_t> lease_attempt{0};
+    /** Last renewal in steady-clock millis. */
+    std::atomic<int64_t> lease_renew_ms{0};
+    std::atomic<bool> stalled{false};
 };
 
 /**
@@ -172,6 +184,8 @@ injectFault(const FaultAction &fault, uint32_t attempt,
       case FaultKind::None:
       case FaultKind::AbortProcess:   // handled before the loop
       case FaultKind::CorruptJournal: // handled at journal time
+      case FaultKind::KillWorker:     // handled before the loop
+      case FaultKind::StallWorker:    // handled before the loop
         return;
       case FaultKind::Throw:
         throw std::runtime_error("injected fault: throw");
@@ -238,10 +252,15 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
     }
 
     // ---- journal open + resume ----------------------------------
+    if (opts_.dist.enabled && opts_.journal_dir.empty()) {
+        util::fatal("distributed sweep execution needs a shared "
+                    "--journal directory");
+    }
     std::unique_ptr<SweepJournal> journal;
     std::vector<uint64_t> hashes(n, 0);
     std::vector<char> resumed_mask(n, 0);
     size_t resumed = 0;
+    size_t reaped_markers = 0;
     if (!opts_.journal_dir.empty()) {
         for (size_t i = 0; i < n; ++i)
             hashes[i] =
@@ -250,6 +269,9 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
         header.master_seed = params_.seed;
         header.config_hash = sweepConfigHash(params_, specs);
         header.build = RLR_GIT_DESCRIBE;
+        header.writer = util::format(
+            "pid {} worker {}", static_cast<long>(::getpid()),
+            opts_.dist.worker_id);
         header.n_cells = n;
         try {
             journal = std::make_unique<SweepJournal>(
@@ -269,6 +291,26 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
                 ++resumed;
             }
         }
+        // In-flight markers older than the lease TTL (or covered
+        // by a record) are breadcrumbs of attempts a crashed
+        // worker never finished.
+        reaped_markers =
+            journal->reapStaleMarkers(opts_.dist.lease_ttl_s);
+        if (reaped_markers > 0) {
+            util::warn("reaped {} stale in-flight marker{} in "
+                       "'{}'",
+                       reaped_markers,
+                       reaped_markers == 1 ? "" : "s",
+                       journal->dir());
+        }
+    }
+
+    // Lease-based claiming (distributed execution only).
+    std::unique_ptr<Lease> lease;
+    if (opts_.dist.enabled) {
+        lease = std::make_unique<Lease>(journal->dir(),
+                                        opts_.dist.worker_id,
+                                        opts_.dist.lease_ttl_s);
     }
 
     std::vector<size_t> pending;
@@ -297,8 +339,9 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
         g_sweep_interrupted.store(true);
     }
 
-    const bool want_monitor =
-        opts_.handle_signals || opts_.cell_timeout_s > 0.0;
+    const bool want_monitor = opts_.handle_signals ||
+                              opts_.cell_timeout_s > 0.0 ||
+                              lease != nullptr;
     std::thread monitor;
     if (want_monitor && !pending.empty()) {
         monitor = std::thread([&] {
@@ -336,6 +379,38 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
                         }
                     }
                 }
+                if (lease) {
+                    // Renew held leases every TTL/3 so a live
+                    // worker's cells are never stolen; a stalled
+                    // slot (stall-worker fault) deliberately
+                    // skips renewal and lets its lease expire.
+                    const int64_t now = nowMillis();
+                    const auto renew_every = static_cast<int64_t>(
+                        opts_.dist.lease_ttl_s * 1000.0 / 3.0);
+                    for (size_t i = 0; i < slots.size(); ++i) {
+                        AttemptSlot &slot = slots[i];
+                        const uint64_t fence =
+                            slot.lease_fence.load(
+                                std::memory_order_relaxed);
+                        if (fence == 0 ||
+                            slot.stalled.load(
+                                std::memory_order_relaxed)) {
+                            continue;
+                        }
+                        if (now - slot.lease_renew_ms.load(
+                                      std::memory_order_relaxed) <
+                            renew_every) {
+                            continue;
+                        }
+                        lease->renew(hashes[i],
+                                     slot.lease_attempt.load(
+                                         std::memory_order_relaxed),
+                                     fence);
+                        slot.lease_renew_ms.store(
+                            nowMillis(),
+                            std::memory_order_relaxed);
+                    }
+                }
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(20));
             }
@@ -350,6 +425,9 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
     std::atomic<uint64_t> failed_count{0};
     std::atomic<uint64_t> cancelled_count{0};
     std::atomic<uint64_t> completed_count{0};
+    std::atomic<uint64_t> merged_count{0};
+    std::atomic<uint64_t> fenced_count{0};
+    std::atomic<uint64_t> steal_count{0};
 
     auto bump_progress = [&] {
         const size_t n_done = done.fetch_add(1) + 1;
@@ -368,7 +446,7 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
             "eta {:.1f}s", n_done, n, resumed, elapsed, eta));
     };
 
-    auto run_one = [&](size_t i) {
+    auto run_one = [&](size_t i) -> bool {
         RLR_PROF_SCOPE("sweep.cell");
         SweepCell &cell = cells[i];
         const CellSpec &spec = specs[i];
@@ -383,6 +461,25 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
         if (fault.kind == FaultKind::AbortProcess &&
             !draining.load(std::memory_order_relaxed)) {
             std::raise(SIGKILL);
+        }
+        // Distributed faults, gated on fencing token 1 so only
+        // the FIRST claimant misbehaves — survivors that re-claim
+        // the cell run it clean and the sweep still converges.
+        if (lease &&
+            slot.lease_fence.load(std::memory_order_relaxed) <=
+                1 &&
+            !draining.load(std::memory_order_relaxed)) {
+            if (fault.kind == FaultKind::KillWorker)
+                std::raise(SIGKILL);
+            if (fault.kind == FaultKind::StallWorker) {
+                // Stop renewing and outlive the TTL: the lease
+                // expires, a survivor re-issues the cell, and our
+                // eventual commit is fenced off.
+                slot.stalled.store(true,
+                                   std::memory_order_relaxed);
+                sleepInterruptible(opts_.dist.lease_ttl_s * 3.0,
+                                   draining);
+            }
         }
 
         SimParams p = params_;
@@ -404,6 +501,8 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
         for (uint32_t attempt = 1; attempt <= max_attempts;
              ++attempt) {
             cell.attempts = attempt;
+            slot.lease_attempt.store(attempt,
+                                     std::memory_order_relaxed);
             cell.error.clear();
             cell.timed_out = false;
             if (draining.load(std::memory_order_relaxed)) {
@@ -486,9 +585,18 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
         if (heartbeat)
             heartbeat->cellFinished(cell.ok());
 
+        bool settled_here = false;
         if (signal_cancelled) {
             // Not a final outcome — the cell re-runs on resume.
             cancelled_count.fetch_add(1);
+        } else if (lease &&
+                   !lease->stillHeld(
+                       hashes[i], slot.lease_fence.load(
+                                      std::memory_order_relaxed))) {
+            // Our lease was stolen while we ran (we stalled or
+            // straggled past the re-issue threshold): the
+            // thief's commit is authoritative, ours is dropped.
+            fenced_count.fetch_add(1);
         } else {
             completed_count.fetch_add(1);
             if (!cell.ok())
@@ -498,13 +606,151 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
                     hashes[i], cell,
                     fault.kind == FaultKind::CorruptJournal);
             }
+            if (lease) {
+                lease->release(hashes[i],
+                               slot.lease_fence.load(
+                                   std::memory_order_relaxed));
+            }
+            settled_here = true;
         }
-        bump_progress();
+        if (!lease || settled_here)
+            bump_progress();
+        return settled_here;
     };
 
-    util::ThreadPool::parallelFor(
-        pending.size(), opts_.threads,
-        [&](size_t k) { run_one(pending[k]); });
+    if (!lease) {
+        util::ThreadPool::parallelFor(
+            pending.size(), opts_.threads,
+            [&](size_t k) { run_one(pending[k]); });
+    } else {
+        // ---- distributed claim-execute-commit loop --------------
+        //
+        // Every worker thread scans the unsettled cells: cells
+        // another worker already committed are merged from the
+        // journal; unclaimed cells are claimed through a lease and
+        // run; expired leases (their worker was SIGKILLed or
+        // hung) are stolen and re-issued. The loop ends when
+        // every cell has a durable outcome — terminal failures
+        // journal a record too, so convergence never depends on
+        // cells succeeding.
+        std::mutex sched_mu;
+        std::vector<char> settled(resumed_mask);
+        std::vector<double> walls; // committed cell wall clocks
+
+        auto steal_after = [&]() -> double {
+            // Straggler re-issue threshold: steal only after
+            // max(TTL, 3 x median committed cell wall), so cells
+            // that legitimately run long on a loaded machine are
+            // not prematurely re-issued even if renewal lags.
+            std::lock_guard<std::mutex> lk(sched_mu);
+            if (walls.empty())
+                return opts_.dist.lease_ttl_s;
+            std::vector<double> s(walls);
+            std::nth_element(s.begin(), s.begin() + s.size() / 2,
+                             s.end());
+            return std::max(opts_.dist.lease_ttl_s,
+                            3.0 * s[s.size() / 2]);
+        };
+
+        auto worker_loop = [&](size_t) {
+            while (!draining.load(std::memory_order_relaxed)) {
+                bool all_settled = true;
+                bool progressed = false;
+                for (size_t i = 0; i < n; ++i) {
+                    if (draining.load(std::memory_order_relaxed))
+                        return;
+                    {
+                        std::lock_guard<std::mutex> lk(sched_mu);
+                        if (settled[i])
+                            continue;
+                    }
+                    all_settled = false;
+
+                    // Merge a record another worker committed
+                    // since we opened the journal.
+                    SweepCell rec;
+                    if (journal->reload(hashes[i], specs[i],
+                                        cells[i].seed, rec)) {
+                        bool first = false;
+                        {
+                            std::lock_guard<std::mutex> lk(
+                                sched_mu);
+                            if (!settled[i]) {
+                                settled[i] = 1;
+                                first = true;
+                            }
+                        }
+                        if (first) {
+                            cells[i] = rec;
+                            merged_count.fetch_add(1);
+                            if (!rec.ok())
+                                failed_count.fetch_add(1);
+                            if (heartbeat) {
+                                heartbeat->cellStarted(
+                                    specs[i].workload + ":" +
+                                        specs[i].policy,
+                                    rec.attempts);
+                                heartbeat->cellFinished(rec.ok());
+                            }
+                            bump_progress();
+                        }
+                        progressed = true;
+                        continue;
+                    }
+
+                    const Lease::Claim claim = lease->tryClaim(
+                        hashes[i], 1, steal_after());
+                    if (!claim.won)
+                        continue; // held by a live worker — poll
+                    if (claim.stole)
+                        steal_count.fetch_add(1);
+                    AttemptSlot &slot = slots[i];
+                    slot.stalled.store(false,
+                                       std::memory_order_relaxed);
+                    slot.lease_attempt.store(
+                        1, std::memory_order_relaxed);
+                    slot.lease_renew_ms.store(
+                        nowMillis(), std::memory_order_relaxed);
+                    // Arm renewal last: the monitor ignores the
+                    // slot until the fence is published.
+                    slot.lease_fence.store(
+                        claim.fence, std::memory_order_relaxed);
+                    const bool committed = run_one(i);
+                    slot.lease_fence.store(
+                        0, std::memory_order_relaxed);
+                    slot.stalled.store(false,
+                                       std::memory_order_relaxed);
+                    if (committed) {
+                        std::lock_guard<std::mutex> lk(sched_mu);
+                        settled[i] = 1;
+                        walls.push_back(cells[i].wall_seconds);
+                    }
+                    progressed = true;
+                }
+                if (all_settled)
+                    return;
+                if (!progressed)
+                    sleepInterruptible(opts_.dist.poll_s,
+                                       draining);
+            }
+        };
+        util::ThreadPool::parallelFor(opts_.threads,
+                                      opts_.threads, worker_loop);
+
+        // A drain leaves unsettled cells behind; label them so
+        // the export and exit status reflect the interruption.
+        for (size_t i = 0; i < n; ++i) {
+            bool s;
+            {
+                std::lock_guard<std::mutex> lk(sched_mu);
+                s = settled[i] != 0;
+            }
+            if (!s && cells[i].error.empty()) {
+                cells[i].error = "cancelled: signal";
+                cancelled_count.fetch_add(1);
+            }
+        }
+    }
 
     monitor_stop.store(true);
     if (monitor.joinable())
@@ -522,6 +768,10 @@ SweepRunner::runCells(std::vector<CellSpec> specs)
     sweep_stats_.counter("timeouts") = timeout_count;
     sweep_stats_.counter("failed_cells") = failed_count;
     sweep_stats_.counter("cancelled_cells") = cancelled_count;
+    sweep_stats_.counter("reaped_markers") = reaped_markers;
+    sweep_stats_.counter("merged_cells") = merged_count;
+    sweep_stats_.counter("lease_steals") = steal_count;
+    sweep_stats_.counter("fenced_commits") = fenced_count;
 
     if (opts_.stable_telemetry) {
         // Leave only seed-determined fields in the export.

@@ -55,6 +55,7 @@
 
 #include "sim/experiment.hh"
 #include "sim/fault_plan.hh"
+#include "sim/lease.hh"
 #include "stats/stats.hh"
 #include "util/table.hh"
 
@@ -110,6 +111,16 @@ struct SweepOptions
      */
     std::string heartbeat_path;
     double heartbeat_period_s = 0.5;
+
+    /**
+     * Distributed execution (sim/lease.hh): when enabled, cells
+     * are claimed through lease files in the journal directory
+     * instead of statically partitioned, so N worker processes
+     * sharing one journal cooperatively execute the sweep and a
+     * killed worker's cells are re-issued to survivors. Requires
+     * journal_dir.
+     */
+    DistOptions dist;
 };
 
 /** Fault-isolated parallel (workload x policy) experiment engine. */
@@ -154,7 +165,10 @@ class SweepRunner
     /**
      * Robustness counters of the last runCells() call:
      * sweep.completed_cells, sweep.resumed_cells, sweep.retries,
-     * sweep.timeouts, sweep.failed_cells, sweep.cancelled_cells.
+     * sweep.timeouts, sweep.failed_cells, sweep.cancelled_cells,
+     * and in journaled/distributed runs sweep.reaped_markers,
+     * sweep.merged_cells, sweep.lease_steals,
+     * sweep.fenced_commits.
      */
     const stats::StatSet &stats() const { return sweep_stats_; }
 

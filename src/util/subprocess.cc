@@ -1,0 +1,105 @@
+#include "util/subprocess.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace rlr::util
+{
+
+namespace
+{
+
+ProcExit
+decodeStatus(int raw)
+{
+    ProcExit out;
+    if (WIFEXITED(raw)) {
+        out.exited = true;
+        out.code = WEXITSTATUS(raw);
+    } else if (WIFSIGNALED(raw)) {
+        out.signal = WTERMSIG(raw);
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+Subprocess::spawn(const std::vector<std::string> &argv)
+{
+    if (argv.empty() || pid_ > 0)
+        return false;
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        warn("fork failed: {}", std::strerror(errno));
+        return false;
+    }
+    if (pid == 0) {
+        ::execv(cargv[0], cargv.data());
+        // Only reached when exec fails; _exit skips atexit
+        // handlers we inherited from the parent.
+        std::fprintf(stderr, "exec '%s' failed: %s\n",
+                     cargv[0], std::strerror(errno));
+        ::_exit(127);
+    }
+    pid_ = pid;
+    reaped_ = false;
+    return true;
+}
+
+bool
+Subprocess::poll(ProcExit &status)
+{
+    if (reaped_) {
+        status = status_;
+        return true;
+    }
+    if (pid_ <= 0)
+        return false;
+    int raw = 0;
+    const pid_t r = ::waitpid(pid_, &raw, WNOHANG);
+    if (r != pid_)
+        return false;
+    status_ = decodeStatus(raw);
+    reaped_ = true;
+    status = status_;
+    return true;
+}
+
+ProcExit
+Subprocess::wait()
+{
+    if (reaped_ || pid_ <= 0)
+        return status_;
+    int raw = 0;
+    while (::waitpid(pid_, &raw, 0) < 0) {
+        if (errno != EINTR)
+            return status_; // ECHILD: someone else reaped it
+    }
+    status_ = decodeStatus(raw);
+    reaped_ = true;
+    return status_;
+}
+
+void
+Subprocess::kill(int sig) const
+{
+    if (pid_ > 0 && !reaped_)
+        ::kill(pid_, sig);
+}
+
+} // namespace rlr::util

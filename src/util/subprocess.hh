@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal child-process helper for the distributed sweep
+ * supervisor: spawn a worker (fork+execv of our own binary with a
+ * per-worker argv), poll or block on its exit, and decode the
+ * wait status into {exited, code, signal}. No pipes, no ptys —
+ * workers talk to the supervisor through the journal directory
+ * (leases, cell records, per-worker heartbeat files), never
+ * through stdio.
+ */
+
+#ifndef RLR_UTIL_SUBPROCESS_HH
+#define RLR_UTIL_SUBPROCESS_HH
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace rlr::util
+{
+
+/** Decoded exit state of a reaped child. */
+struct ProcExit
+{
+    /** Child terminated normally (exit/return). */
+    bool exited = false;
+    /** Exit code when exited, else 0. */
+    int code = 0;
+    /** Terminating signal when killed, else 0. */
+    int signal = 0;
+};
+
+/** One spawned child process. */
+class Subprocess
+{
+  public:
+    Subprocess() = default;
+
+    /**
+     * fork+execv @p argv (argv[0] is the program path). stdout and
+     * stderr are inherited. @return false when the fork fails or
+     * the exec fails inside the child (reported via exit code 127
+     * at reap time — spawn itself only fails on fork).
+     */
+    bool spawn(const std::vector<std::string> &argv);
+
+    /**
+     * Reap the child if it has exited. Non-blocking.
+     * @return true when the child was reaped (status valid).
+     */
+    bool poll(ProcExit &status);
+
+    /** Block until the child exits, then reap it. */
+    ProcExit wait();
+
+    /** Send @p sig to the child (no-op when not running). */
+    void kill(int sig) const;
+
+    pid_t pid() const { return pid_; }
+    bool running() const { return pid_ > 0 && !reaped_; }
+    /** Exit state once reaped (valid after poll()/wait() hit). */
+    const ProcExit &status() const { return status_; }
+
+  private:
+    pid_t pid_ = -1;
+    bool reaped_ = false;
+    ProcExit status_;
+};
+
+} // namespace rlr::util
+
+#endif // RLR_UTIL_SUBPROCESS_HH

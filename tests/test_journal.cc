@@ -306,6 +306,102 @@ TEST(Journal, CorruptHeaderRefusesWithPath)
     fs::remove_all(dir);
 }
 
+// Regression (satellite of the distributed-sweep PR): a journal
+// written by a build predating the record-schema member must be
+// refused on resume, not silently re-run. The header below is
+// hand-written the way schema-1 builds emitted it — no "schema"
+// member at all, which headerFromJson interprets as schema 1.
+TEST(Journal, OldSchemaHeaderRefusesResume)
+{
+    const std::string dir = tempDir("journal_old_schema");
+    fs::create_directories(dir);
+    util::atomicWriteFile(
+        dir + "/header.json",
+        "{\n"
+        "  \"format\": \"rlr-sweep-journal\",\n"
+        "  \"version\": 1,\n"
+        "  \"master_seed\": \"42\",\n"
+        "  \"config_hash\": \"0000000000000457\",\n"
+        "  \"build\": \"test-build\",\n"
+        "  \"n_cells\": 1\n"
+        "}\n");
+    try {
+        SweepJournal journal(dir, header(42, 1111, 1));
+        FAIL() << "expected a schema mismatch error";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("schema 1"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("refusing to resume"),
+                  std::string::npos)
+            << what;
+    }
+    fs::remove_all(dir);
+}
+
+TEST(Journal, HeaderRoundTripKeepsSchemaAndWriter)
+{
+    JournalHeader h = header(7, 0x457, 3);
+    h.writer = "pid 1234 worker 2";
+    const auto parsed =
+        SweepJournal::headerFromJson(SweepJournal::headerToJson(h));
+    EXPECT_EQ(parsed.schema, sim::kJournalSchema);
+    EXPECT_EQ(parsed.writer, "pid 1234 worker 2");
+}
+
+TEST(Journal, ReapStaleMarkers)
+{
+    const std::string dir = tempDir("journal_reap");
+    const JournalHeader h = header(42, 1111, 3);
+    const SweepCell cell = okCell();
+    const uint64_t committed_hash = SweepJournal::specHash(
+        spec(cell.workload, cell.policy), cell.seed);
+    SweepJournal journal(dir, h);
+    journal.append(committed_hash, cell);
+
+    // A marker whose cell already has a durable record is reaped
+    // regardless of age (append removes its own marker, so write
+    // one back by hand)...
+    journal.markInFlight(
+        committed_hash, spec(cell.workload, cell.policy), 1);
+    // ...an old orphan marker is reaped by age...
+    journal.markInFlight(0x1111, spec("470.lbm", "LRU"), 1);
+    const std::string orphan =
+        dir + "/inflight-0000000000001111.json";
+    fs::last_write_time(
+        orphan, fs::file_time_type::clock::now() -
+                    std::chrono::seconds(3600));
+    // ...and a fresh marker for a live cell is kept.
+    journal.markInFlight(0x2222, spec("429.mcf", "LRU"), 1);
+
+    SweepJournal reopened(dir, h); // loads the committed record
+    EXPECT_EQ(reopened.reapStaleMarkers(10.0), 2u);
+    EXPECT_FALSE(fs::exists(orphan));
+    EXPECT_TRUE(fs::exists(
+        dir + "/inflight-0000000000002222.json"));
+    fs::remove_all(dir);
+}
+
+TEST(Journal, ReloadPicksUpForeignCommit)
+{
+    const std::string dir = tempDir("journal_reload");
+    const JournalHeader h = header(42, 1111, 1);
+    const SweepCell cell = okCell();
+    const auto cs = spec(cell.workload, cell.policy);
+    const uint64_t hash = SweepJournal::specHash(cs, cell.seed);
+
+    SweepJournal mine(dir, h);
+    SweepCell out;
+    EXPECT_FALSE(mine.reload(hash, cs, cell.seed, out));
+
+    // "Another worker" commits the cell behind our back.
+    { SweepJournal other(dir, h); other.append(hash, cell); }
+    ASSERT_TRUE(mine.reload(hash, cs, cell.seed, out));
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.seed, cell.seed);
+    fs::remove_all(dir);
+}
+
 TEST(Journal, TruncatedRecordOnDiskIsSkippedNotFatal)
 {
     const std::string dir = tempDir("journal_truncated");

@@ -1,0 +1,205 @@
+// Lease contention tests (docs/ROBUSTNESS.md, "Distributed
+// sweeps"): the claim protocol must admit exactly one winner per
+// round under a two-thread race, and fencing tokens must be
+// strictly monotonic across claims — including claims that steal
+// an expired lease.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "sim/lease.hh"
+
+namespace fs = std::filesystem;
+using rlr::sim::Lease;
+using rlr::sim::LeaseInfo;
+
+namespace
+{
+
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &name)
+    {
+        path_ = (fs::temp_directory_path() /
+                 ("rlr_lease_test_" + name +
+                  std::to_string(::getpid())))
+                    .string();
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+TEST(Lease, FreshClaimWinsOnce)
+{
+    TempDir dir("fresh");
+    Lease a(dir.path(), /*worker=*/0, /*ttl=*/10.0);
+    Lease b(dir.path(), /*worker=*/1, /*ttl=*/10.0);
+
+    const auto first = a.tryClaim(0x1234, 1);
+    EXPECT_TRUE(first.won);
+    EXPECT_FALSE(first.stole);
+    EXPECT_GE(first.fence, 1u);
+
+    // The cell is leased: a second claimant must lose.
+    const auto second = b.tryClaim(0x1234, 1);
+    EXPECT_FALSE(second.won);
+
+    // Until the holder releases — then the fence keeps rising.
+    a.release(0x1234, first.fence);
+    const auto third = b.tryClaim(0x1234, 1);
+    EXPECT_TRUE(third.won);
+    EXPECT_GT(third.fence, first.fence);
+}
+
+TEST(Lease, TwoThreadsRaceExactlyOneWinner)
+{
+    TempDir dir("race");
+    // Two Lease instances over the same directory model two
+    // separate worker processes.
+    Lease a(dir.path(), 0, 10.0);
+    Lease b(dir.path(), 1, 10.0);
+
+    constexpr int kRounds = 1000;
+    constexpr uint64_t hash = 0x9000;
+    uint64_t last_fence = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        std::atomic<int> winners{0};
+        std::atomic<uint64_t> won_fence{0};
+        std::atomic<int> won_worker{-1};
+
+        auto race = [&](Lease &lease, int who) {
+            const auto c = lease.tryClaim(hash, 1);
+            if (c.won) {
+                winners.fetch_add(1);
+                won_fence.store(c.fence);
+                won_worker.store(who);
+            }
+        };
+        std::thread t1(race, std::ref(a), 0);
+        std::thread t2(race, std::ref(b), 1);
+        t1.join();
+        t2.join();
+
+        // Exactly one winner per round, never zero, never both.
+        ASSERT_EQ(winners.load(), 1) << "round " << round;
+        // Strictly monotonic fencing tokens across rounds.
+        const uint64_t fence = won_fence.load();
+        ASSERT_GT(fence, last_fence) << "round " << round;
+        last_fence = fence;
+
+        // The winner releases so the next round starts fresh.
+        Lease &winner = won_worker.load() == 0 ? a : b;
+        winner.release(hash, fence);
+    }
+}
+
+TEST(Lease, FenceStrictlyMonotonicAcrossClaims)
+{
+    TempDir dir("monotonic");
+    Lease a(dir.path(), 0, 10.0);
+    Lease b(dir.path(), 1, 10.0);
+
+    uint64_t prev = 0;
+    for (int i = 0; i < 100; ++i) {
+        Lease &who = (i % 2) ? b : a;
+        const auto c = who.tryClaim(0xfeed, 1);
+        ASSERT_TRUE(c.won) << "claim " << i;
+        ASSERT_GT(c.fence, prev) << "claim " << i;
+        prev = c.fence;
+        who.release(0xfeed, c.fence);
+    }
+}
+
+TEST(Lease, ExpiredLeaseIsStolenWithHigherFence)
+{
+    TempDir dir("steal");
+    Lease dead(dir.path(), 0, 0.1);
+    Lease thief(dir.path(), 1, 0.1);
+
+    const auto held = dead.tryClaim(0xabcd, 3, 0.1);
+    ASSERT_TRUE(held.won);
+
+    // Young lease: not stealable yet even by an eager thief.
+    const auto early = thief.tryClaim(0xabcd, 1, 60.0);
+    EXPECT_FALSE(early.won);
+
+    // Let it age past the steal threshold (no renewal — the
+    // "holder" is pretending to be SIGKILLed).
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const auto stolen = thief.tryClaim(0xabcd, 1, 0.1);
+    EXPECT_TRUE(stolen.won);
+    EXPECT_TRUE(stolen.stole);
+    EXPECT_GT(stolen.fence, held.fence);
+
+    // The dead worker's commit must now be fenced out...
+    EXPECT_FALSE(dead.stillHeld(0xabcd, held.fence));
+    // ...and its release must NOT delete the thief's lease.
+    dead.release(0xabcd, held.fence);
+    EXPECT_TRUE(thief.stillHeld(0xabcd, stolen.fence));
+}
+
+TEST(Lease, RenewKeepsLeaseFresh)
+{
+    TempDir dir("renew");
+    Lease holder(dir.path(), 2, 0.2);
+    Lease thief(dir.path(), 3, 0.2);
+
+    const auto c = holder.tryClaim(0x7777, 1, 0.2);
+    ASSERT_TRUE(c.won);
+
+    // Renew through ~3 TTLs; the thief must never succeed.
+    for (int i = 0; i < 6; ++i) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+        holder.renew(0x7777, 1, c.fence);
+        EXPECT_FALSE(thief.tryClaim(0x7777, 1, 0.2).won)
+            << "iteration " << i;
+    }
+    EXPECT_TRUE(holder.stillHeld(0x7777, c.fence));
+}
+
+TEST(Lease, ReadAbsentAndTornFiles)
+{
+    TempDir dir("read");
+    LeaseInfo info;
+    EXPECT_FALSE(
+        Lease::read(dir.path() + "/lease-none.json", info));
+
+    // A torn write (no "eor" marker) parses as unreadable.
+    const std::string torn = dir.path() + "/lease-torn.json";
+    {
+        std::ofstream f(torn);
+        f << "{\"record\": \"rlr-sweep-lease\", \"worker\": 4";
+    }
+    EXPECT_FALSE(Lease::read(torn, info));
+
+    Lease a(dir.path(), 6, 10.0);
+    const auto c = a.tryClaim(0xbeef, 9);
+    ASSERT_TRUE(c.won);
+    LeaseInfo good;
+    ASSERT_TRUE(
+        Lease::read(Lease::leasePath(dir.path(), 0xbeef), good));
+    EXPECT_EQ(good.worker, 6u);
+    EXPECT_EQ(good.attempt, 9u);
+    EXPECT_EQ(good.fence, c.fence);
+    EXPECT_EQ(good.pid, static_cast<int64_t>(::getpid()));
+    EXPECT_DOUBLE_EQ(good.ttl_s, 10.0);
+    EXPECT_GE(good.age_s, 0.0);
+}

@@ -15,7 +15,9 @@
  * spots). --check-trace verifies a Chrome trace_event JSON file
  * is structurally valid for chrome://tracing / Perfetto.
  * --journal summarizes a sweep journal directory (header
- * identity, per-cell record status — see docs/ROBUSTNESS.md).
+ * identity, per-cell record status, in-flight markers, and live
+ * cell leases with their owner/fence/expiry — see
+ * docs/ROBUSTNESS.md).
  * --top follows a sweep's --heartbeat file like `top(1)`,
  * redrawing per-worker status until the sweep reports done.
  * --profile renders a --profile JSON export as a call tree
@@ -83,8 +85,9 @@ main(int argc, char **argv)
                      "rendering a report");
     parser.addOption("journal", "",
                      "Summarize a sweep journal directory "
-                     "(--journal output of any bench binary) "
-                     "instead of rendering a report");
+                     "(--journal output of any bench binary): "
+                     "header identity, per-cell records, and "
+                     "live cell leases with owner and expiry");
     parser.addOption("top", "",
                      "Follow a sweep heartbeat file (--heartbeat "
                      "output of any bench binary) as a live "
